@@ -1,0 +1,245 @@
+// Package boltondp is a Go implementation of "Bolt-on Differential
+// Privacy for Scalable Stochastic Gradient Descent-based Analytics"
+// (Wu et al., SIGMOD 2017): differentially private permutation-based
+// SGD via output perturbation, where a standard SGD run is treated as a
+// black box and noise calibrated to a tight L2-sensitivity bound is
+// added once, to the final model.
+//
+// The package is a thin facade over the implementation packages under
+// internal/; it exposes everything a downstream user needs to train
+// private linear models:
+//
+//	train, test := boltondp.ProteinSim(rand.New(rand.NewSource(1)), 1.0)
+//	res, err := boltondp.Train(train, boltondp.NewLogisticLoss(1e-3), boltondp.TrainOptions{
+//		Budget: boltondp.Budget{Epsilon: 0.1},
+//		Passes: 10, Batch: 50, Radius: 1000,
+//		Rand:   rand.New(rand.NewSource(2)),
+//	})
+//	// res.W is (ε = 0.1)-differentially private.
+//
+// The white-box baselines the paper compares against (SCS13, BST14),
+// the Bismarck-style in-RDBMS substrate, the private tuning algorithm
+// and the full experiment harness are re-exported alongside. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package boltondp
+
+import (
+	"math/rand"
+
+	"boltondp/internal/baselines"
+	"boltondp/internal/bismarck"
+	"boltondp/internal/core"
+	"boltondp/internal/data"
+	"boltondp/internal/dp"
+	"boltondp/internal/eval"
+	"boltondp/internal/loss"
+	"boltondp/internal/projection"
+	"boltondp/internal/sgd"
+	"boltondp/internal/tuning"
+)
+
+// Core types, re-exported.
+type (
+	// Budget is an (ε, δ) differential-privacy budget; δ = 0 selects
+	// pure ε-DP (Laplace-style noise), δ > 0 the Gaussian mechanism.
+	Budget = dp.Budget
+	// Samples is the read-only training-set view every trainer accepts.
+	Samples = sgd.Samples
+	// LossFunction is a convex per-example loss with its (L, β, γ)
+	// constants.
+	LossFunction = loss.Function
+	// TrainOptions configures the private bolt-on trainers.
+	TrainOptions = core.Options
+	// TrainResult reports a private training run; only W is private.
+	TrainResult = core.Result
+	// BaselineOptions configures the comparison algorithms.
+	BaselineOptions = baselines.Options
+	// BaselineResult reports a baseline run.
+	BaselineResult = baselines.Result
+	// Dataset is an in-memory labeled dataset implementing Samples.
+	Dataset = data.Dataset
+	// Classifier predicts labels; see LinearClassifier and
+	// OneVsAllClassifier.
+	Classifier = eval.Classifier
+	// LinearClassifier is sign(⟨w, x⟩).
+	LinearClassifier = eval.Linear
+	// OneVsAllClassifier is argmax_c ⟨w_c, x⟩.
+	OneVsAllClassifier = eval.OneVsAll
+	// TuningParams is a hyperparameter tuple (k, b, λ).
+	TuningParams = tuning.Params
+	// TuningResult reports a tuning run.
+	TuningResult = tuning.Result
+	// Projector is a Gaussian random projection for high-dimensional
+	// data.
+	Projector = projection.Projector
+	// Table is the Bismarck-style page-organized table.
+	Table = bismarck.Table
+	// UDATrainConfig configures in-RDBMS training via the UDA
+	// architecture.
+	UDATrainConfig = bismarck.TrainConfig
+	// UDATrainResult reports an in-RDBMS training run.
+	UDATrainResult = bismarck.TrainResult
+)
+
+// Losses.
+
+// NewLogisticLoss returns the (optionally L2-regularized) logistic loss
+// of the paper's equation (1). For lambda > 0 the hypothesis radius
+// defaults to 1/λ, the paper's convention.
+func NewLogisticLoss(lambda float64) LossFunction { return loss.NewLogistic(lambda, 0) }
+
+// NewHuberSVMLoss returns the smoothed hinge ("Huber SVM") loss with
+// smoothing width h (the paper uses h = 0.1).
+func NewHuberSVMLoss(h, lambda float64) LossFunction { return loss.NewHuber(h, lambda, 0) }
+
+// Training.
+
+// Train runs the bolt-on private PSGD appropriate for the loss:
+// Algorithm 2 when the loss is strongly convex, Algorithm 1 otherwise.
+func Train(s Samples, f LossFunction, opt TrainOptions) (*TrainResult, error) {
+	return core.Train(s, f, opt)
+}
+
+// PrivateConvexPSGD is Algorithm 1 of the paper (convex losses).
+func PrivateConvexPSGD(s Samples, f LossFunction, opt TrainOptions) (*TrainResult, error) {
+	return core.PrivateConvexPSGD(s, f, opt)
+}
+
+// PrivateStronglyConvexPSGD is Algorithm 2 (strongly convex losses).
+func PrivateStronglyConvexPSGD(s Samples, f LossFunction, opt TrainOptions) (*TrainResult, error) {
+	return core.PrivateStronglyConvexPSGD(s, f, opt)
+}
+
+// Baselines.
+
+// NoiselessSGD runs plain permutation-based SGD (no privacy).
+func NoiselessSGD(s Samples, f LossFunction, opt BaselineOptions) (*BaselineResult, error) {
+	return baselines.Noiseless(s, f, opt)
+}
+
+// SCS13 runs the per-iteration-noise baseline of Song, Chaudhuri and
+// Sarwate (2013).
+func SCS13(s Samples, f LossFunction, opt BaselineOptions) (*BaselineResult, error) {
+	return baselines.SCS13(s, f, opt)
+}
+
+// BST14 runs the paper's constant-epoch extension of Bassily, Smith
+// and Thakurta (2014). Requires δ > 0 and a positive Radius.
+func BST14(s Samples, f LossFunction, opt BaselineOptions) (*BaselineResult, error) {
+	return baselines.BST14(s, f, opt)
+}
+
+// Evaluation.
+
+// Accuracy returns the fraction of s that c classifies correctly.
+func Accuracy(s Samples, c Classifier) float64 { return eval.Accuracy(s, c) }
+
+// TrainOneVsAll builds a multiclass model from per-class binary
+// trainers; callers should split the privacy budget across classes
+// with Budget.Split.
+func TrainOneVsAll(s Samples, classes int, train eval.BinaryTrainer) (*OneVsAllClassifier, error) {
+	return eval.TrainOneVsAll(s, classes, train)
+}
+
+// SaveClassifier writes a trained classifier to path as JSON; pass
+// metadata (ε, δ, loss, sensitivity) so the model file carries its own
+// privacy statement.
+func SaveClassifier(path string, c Classifier, meta map[string]string) error {
+	return eval.SaveClassifier(path, c, meta)
+}
+
+// LoadClassifier reads a classifier written by SaveClassifier.
+func LoadClassifier(path string) (Classifier, map[string]string, error) {
+	return eval.LoadClassifier(path)
+}
+
+// Tuning.
+
+// PaperTuningGrid is the §4.3 grid: k ∈ {5, 10}, b = 50,
+// λ ∈ {1e-4, 1e-3, 1e-2}.
+func PaperTuningGrid() []TuningParams { return tuning.PaperGrid() }
+
+// PrivateTune is the private hyperparameter tuner (Algorithm 3).
+func PrivateTune(d *Dataset, grid []TuningParams, budget Budget, train tuning.TrainFunc, r *rand.Rand) (*TuningResult, error) {
+	return tuning.Private(d, grid, budget, train, r)
+}
+
+// PublicTune tunes against a public validation set (§4.1).
+func PublicTune(train, public *Dataset, grid []TuningParams, fit tuning.TrainFunc) (*TuningResult, error) {
+	return tuning.Public(train, public, grid, fit)
+}
+
+// Data.
+
+// LoadLIBSVM reads a LIBSVM/SVMlight format file.
+func LoadLIBSVM(path string, dim int) (*Dataset, error) { return data.LoadLIBSVM(path, dim) }
+
+// MNISTSim, ProteinSim, CovtypeSim, HIGGSSim and KDDSim generate the
+// paper's benchmark datasets (simulated; see DESIGN.md §4) at the given
+// scale (1.0 = the paper's full size).
+func MNISTSim(r *rand.Rand, scale float64) (train, test *Dataset)   { return data.MNISTSim(r, scale) }
+func ProteinSim(r *rand.Rand, scale float64) (train, test *Dataset) { return data.ProteinSim(r, scale) }
+func CovtypeSim(r *rand.Rand, scale float64) (train, test *Dataset) { return data.CovtypeSim(r, scale) }
+func HIGGSSim(r *rand.Rand, scale float64) (train, test *Dataset)   { return data.HIGGSSim(r, scale) }
+func KDDSim(r *rand.Rand, scale float64) (train, test *Dataset)     { return data.KDDSim(r, scale) }
+
+// NewProjection samples a Gaussian random projection from dimension d
+// down to p (the paper projects MNIST 784 → 50).
+func NewProjection(r *rand.Rand, d, p int) *Projector { return projection.New(r, d, p) }
+
+// In-RDBMS (Bismarck-style) substrate.
+
+// NewMemTable creates an in-memory page-organized table.
+func NewMemTable(name string, d int) *Table { return bismarck.NewMemTable(name, d) }
+
+// CreateDiskTable creates a file-backed table whose buffer pool holds
+// poolPages pages; pools smaller than the table force real file I/O.
+func CreateDiskTable(path string, d, poolPages int) (*Table, error) {
+	return bismarck.CreateDiskTable(path, d, poolPages)
+}
+
+// TrainInRDBMS trains through the UDA architecture (Figure 1),
+// supporting all four integrations: bismarck.Noiseless,
+// bismarck.OutputPerturb, bismarck.AlgSCS13 and bismarck.AlgBST14.
+func TrainInRDBMS(t *Table, f LossFunction, cfg UDATrainConfig) (*UDATrainResult, error) {
+	return bismarck.TrainUDA(t, f, cfg)
+}
+
+// Algorithm selectors for UDATrainConfig, re-exported.
+const (
+	UDANoiseless     = bismarck.Noiseless
+	UDAOutputPerturb = bismarck.OutputPerturb
+	UDASCS13         = bismarck.AlgSCS13
+	UDABST14         = bismarck.AlgBST14
+)
+
+// Parallel (shared-nothing) training.
+
+type (
+	// ParallelTrainConfig configures shared-nothing parallel training:
+	// P independent per-partition SGD aggregates merged by model
+	// averaging, Bismarck/MapReduce style.
+	ParallelTrainConfig = bismarck.ParallelTrainConfig
+	// ParallelTrainResult reports a parallel run.
+	ParallelTrainResult = bismarck.ParallelTrainResult
+	// SVRGConfig configures the variance-reduced optimizer.
+	SVRGConfig = sgd.SVRGConfig
+)
+
+// ParallelTrainInRDBMS partitions the table across Workers goroutines,
+// trains an independent PSGD model per partition, merges by averaging
+// and (for UDAOutputPerturb) perturbs once with the parallel
+// sensitivity Δ_part(m/P)/P — which for strongly convex losses equals
+// the sequential bound, making parallelism privacy-free.
+func ParallelTrainInRDBMS(t *Table, f LossFunction, cfg ParallelTrainConfig) (*ParallelTrainResult, error) {
+	return bismarck.ParallelTrainUDA(t, f, cfg)
+}
+
+// RunSVRG runs the (noiseless) variance-reduced SVRG optimizer — a
+// non-adaptive algorithm in the sense of the paper's Definition 7 and
+// its stated future-work direction for output perturbation. No privacy
+// calibration is returned; see the sgd package docs.
+func RunSVRG(s Samples, cfg SVRGConfig) (*sgd.Result, error) {
+	return sgd.RunSVRG(s, cfg)
+}

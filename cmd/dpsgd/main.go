@@ -1,0 +1,32 @@
+// Command dpsgd trains one differentially private linear model and
+// reports its test accuracy, the calibrated sensitivity and the
+// realized noise. It accepts a LIBSVM file or one of the built-in
+// dataset simulators.
+//
+// Usage:
+//
+//	dpsgd -sim protein -eps 0.1 -lambda 0.001 -passes 10 -batch 50
+//	dpsgd -data train.libsvm -eps 1 -delta 1e-6 -algo bst14
+//	dpsgd -sim kdd -algo noiseless -save model.json
+//
+// Algorithms: ours (bolt-on output perturbation, the default),
+// noiseless, scs13, bst14. See internal/cli for the implementation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"boltondp/internal/cli"
+)
+
+func main() {
+	cfg, err := cli.ParseDPSGD(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := cli.RunDPSGD(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dpsgd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig3 [-scale 0.05] [-seed 1] [-quick]
+//	experiments -run all
+//
+// Each experiment prints a text table whose rows/series correspond to
+// the paper's artifact; see DESIGN.md §3 for the index and
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"boltondp/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "experiment id to run, or \"all\"")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.Float64("scale", 0.05, "dataset scale factor (1.0 = paper-sized)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		quick   = flag.Bool("quick", false, "trim grids for a fast smoke run")
+		repeats = flag.Int("repeats", 1, "average accuracy cells over this many runs")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Out: os.Stdout, Quick: *quick, Repeats: *repeats}
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := experiments.Run(id, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,52 @@
+// Parallel: shared-nothing private training, the way Bismarck
+// parallelizes UDAs across segments (and the paper's footnote 2 maps
+// onto MapReduce). The table is partitioned, each worker trains an
+// independent PSGD model on its segment, the models are merged by
+// averaging, and — the punchline — the merged model is perturbed with
+// the *same* sensitivity as the sequential strongly convex algorithm:
+// Δ = 2L/(γ(m/P))/P = 2L/(γm). Parallelism costs nothing in privacy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"boltondp"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(9))
+	train, test := boltondp.CovtypeSim(r, 0.2) // ~100k rows
+	lambda := 0.05
+	f := boltondp.NewLogisticLoss(lambda)
+	budget := boltondp.Budget{Epsilon: 0.1}
+
+	fmt.Printf("dataset: m=%d d=%d, %d CPUs\n", train.Len(), train.Dim(), runtime.NumCPU())
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		tab := boltondp.NewMemTable("covtype", train.Dim())
+		if err := tab.InsertAll(train); err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := boltondp.ParallelTrainInRDBMS(tab, f, boltondp.ParallelTrainConfig{
+			Workers:   workers,
+			Algorithm: boltondp.UDAOutputPerturb,
+			Budget:    budget,
+			Passes:    5, Batch: 10,
+			Radius: 1 / lambda,
+			Rand:   r,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dur := time.Since(start)
+		acc := boltondp.Accuracy(test, &boltondp.LinearClassifier{W: res.W})
+		fmt.Printf("P=%d  wall=%-8v  Δ₂=%.3g  test accuracy=%.4f\n",
+			workers, dur.Round(time.Millisecond), res.Sensitivity, acc)
+	}
+	fmt.Println("\nsame ε, same Δ₂ order, near-linear speedup: privacy-free parallelism.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: train an (ε = 0.1)-differentially private logistic
+// regression model in a dozen lines, the bolt-on way — run ordinary
+// SGD, add calibrated noise to the final model, release it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"boltondp"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(42))
+
+	// A Protein-sized binary classification task (72k training rows at
+	// scale 1; 0.2 keeps the demo fast).
+	train, test := boltondp.ProteinSim(r, 0.2)
+	fmt.Printf("training on %s: m=%d, d=%d\n", train.Name, train.Len(), train.Dim())
+
+	// L2-regularized logistic regression: strongly convex, so the
+	// sensitivity is 2L/(γm) — independent of the number of passes
+	// (and of the batch size; see dp.SensitivityStronglyConvex).
+	lambda := 0.05
+	f := boltondp.NewLogisticLoss(lambda)
+
+	res, err := boltondp.Train(train, f, boltondp.TrainOptions{
+		Budget: boltondp.Budget{Epsilon: 0.5}, // pure ε-DP
+		Passes: 10,
+		Batch:  50,
+		Radius: 1 / lambda, // the paper's R = 1/λ convention
+		Rand:   r,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	private := &boltondp.LinearClassifier{W: res.W}
+	baseline := &boltondp.LinearClassifier{W: res.NonPrivate}
+	fmt.Printf("sensitivity Δ₂ = %.2g, realized noise ‖κ‖ = %.3f\n", res.Sensitivity, res.NoiseNorm)
+	fmt.Printf("non-private test accuracy: %.4f\n", boltondp.Accuracy(test, baseline))
+	fmt.Printf("ε=0.5 private accuracy:    %.4f\n", boltondp.Accuracy(test, private))
+	fmt.Println("res.W is safe to publish; res.NonPrivate is not.")
+}

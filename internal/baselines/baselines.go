@@ -1,0 +1,246 @@
+// Package baselines implements the comparison algorithms of the
+// paper's evaluation: noiseless PSGD, SCS13 (Song, Chaudhuri and
+// Sarwate 2013 — per-iteration noise), and the paper's extended BST14
+// (Bassily, Smith and Thakurta 2014) variants for a constant number of
+// passes, reproduced verbatim from Algorithms 4 and 5.
+//
+// SCS13 and BST14 are "white box": they must inject noise into every
+// mini-batch gradient update. SCS13 is expressed through the engine's
+// GradNoise hook — the code-level analogue of the deep changes to
+// Bismarck's transition function that Figure 1(C) illustrates. BST14
+// cannot reuse the PSGD engine at all because it samples examples
+// uniformly with replacement rather than by permutation, so it carries
+// its own update loop.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"boltondp/internal/dp"
+	"boltondp/internal/loss"
+	"boltondp/internal/rng"
+	"boltondp/internal/sgd"
+	"boltondp/internal/vec"
+)
+
+// Options configures a baseline run.
+type Options struct {
+	// Budget is the privacy guarantee. Noiseless ignores it. BST14
+	// requires Delta > 0 (it has no pure ε-DP form — §4.1).
+	Budget dp.Budget
+	// Passes is k (default 1).
+	Passes int
+	// Batch is the mini-batch size b (default 1).
+	Batch int
+	// Radius is the projection radius R. BST14 requires it (its step
+	// size is 2R/(G√t)); for the others non-positive means
+	// unconstrained.
+	Radius float64
+	// Rand is the randomness source (permutations, sampling, noise).
+	Rand *rand.Rand
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Passes == 0 {
+		out.Passes = 1
+	}
+	if out.Batch == 0 {
+		out.Batch = 1
+	}
+	return out
+}
+
+// Result reports a baseline training run.
+type Result struct {
+	// W is the trained (for SCS13/BST14: differentially private) model.
+	W []float64
+	// Updates is the number of gradient updates performed.
+	Updates int
+	// NoiseDraws counts d-dimensional noise vectors sampled during the
+	// run — the per-batch sampling cost responsible for the runtime
+	// overhead the paper measures in Figure 5.
+	NoiseDraws int
+}
+
+// Noiseless runs plain PSGD with the noiseless step sizes of Table 4:
+// constant 1/√m for convex losses, 1/(γt) for strongly convex ones.
+func Noiseless(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	o := opt.withDefaults()
+	if o.Rand == nil {
+		return nil, errors.New("baselines: Options.Rand is required")
+	}
+	m := s.Len()
+	if m == 0 {
+		return nil, errors.New("baselines: empty training set")
+	}
+	p := f.Params()
+	var step sgd.Schedule
+	if p.StronglyConvex() {
+		step = sgd.InvT(p.Gamma)
+	} else {
+		step = sgd.Constant(1 / math.Sqrt(float64(m)))
+	}
+	res, err := sgd.Run(s, sgd.Config{
+		Loss: f, Step: step, Passes: o.Passes, Batch: o.Batch,
+		Radius: o.Radius, Rand: o.Rand,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{W: res.W, Updates: res.Updates}, nil
+}
+
+// SCS13 runs the per-iteration-noise private SGD of Song, Chaudhuri and
+// Sarwate (GlobalSIP 2013), extended to k passes as in §4.1 of the
+// paper. Each averaged mini-batch gradient (per-batch L2-sensitivity
+// 2L/b) is released with noise calibrated to a per-pass budget of
+// (ε/k, δ/k): within one pass the mini-batches partition the data, so
+// parallel composition charges each pass once, and simple composition
+// sums the k passes. The step size is 1/√t (Table 4).
+func SCS13(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	o := opt.withDefaults()
+	if err := o.Budget.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Rand == nil {
+		return nil, errors.New("baselines: Options.Rand is required")
+	}
+	m := s.Len()
+	if m == 0 {
+		return nil, errors.New("baselines: empty training set")
+	}
+	p := f.Params()
+	perPass := o.Budget.Split(o.Passes)
+	sens := 2 * p.L / float64(o.Batch)
+
+	draws := 0
+	noise := make([]float64, s.Dim())
+	hook := func(t int, grad []float64) {
+		if perPass.Pure() {
+			rng.GammaSphere(o.Rand, noise, sens, perPass.Epsilon)
+		} else {
+			sigma := rng.GaussianSigma(sens, perPass.Epsilon, perPass.Delta)
+			rng.GaussianVec(o.Rand, noise, sigma)
+		}
+		draws++
+		vec.Axpy(grad, 1, noise)
+	}
+
+	res, err := sgd.Run(s, sgd.Config{
+		Loss: f, Step: sgd.InvSqrtT(1), Passes: o.Passes, Batch: o.Batch,
+		Radius: o.Radius, Rand: o.Rand, GradNoise: hook,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{W: res.W, Updates: res.Updates, NoiseDraws: draws}, nil
+}
+
+// BST14NoiseParams exposes the per-iteration noise derivation of
+// Algorithms 4–5 (lines 2–7) so other integrations — notably the
+// Bismarck UDA in internal/bismarck — can calibrate the same noise.
+func BST14NoiseParams(eps, delta float64, k, m, b int) (T int, sigma float64) {
+	return bst14Noise(eps, delta, k, m, b)
+}
+
+// bst14Noise derives the per-iteration noise level of Algorithms 4–5,
+// lines 2–7: T = k·m/b iterations, δ₁ = δ/T, ε₁ from the advanced
+// composition solver, ε₂ = min(1, m·ε₁/2) (the subsampling
+// amplification step of BST14), σ² = 2 ln(1.25/δ₁)/ε₂².
+func bst14Noise(eps, delta float64, k, m, b int) (T int, sigma float64) {
+	T = k * m / b
+	if T < 1 {
+		T = 1
+	}
+	delta1 := delta / float64(T)
+	eps1 := dp.SolveEps1(eps, T, delta1)
+	eps2 := math.Min(1, float64(m)*eps1/2)
+	sigma = math.Sqrt(2*math.Log(1.25/delta1)) / eps2
+	return T, sigma
+}
+
+// BST14Convex is Algorithm 4 ("Convex BST14 with Constant Epochs"): T
+// uniformly-with-replacement sampled mini-batches, per-iteration
+// Gaussian noise N(0, σ²I_d) added to the summed batch gradient, and
+// step size η_t = 2R/(G√t) with G = √(dσ² + b²L²). Requires δ > 0 and
+// a positive Radius (W must be bounded for the step size to exist).
+func BST14Convex(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	return bst14(s, f, opt, false)
+}
+
+// BST14StronglyConvex is Algorithm 5: identical noise derivation, step
+// size η_t = 1/(γt). Requires a strongly convex loss, δ > 0 and a
+// positive Radius.
+func BST14StronglyConvex(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	return bst14(s, f, opt, true)
+}
+
+// BST14 dispatches on the loss's strong convexity, mirroring core.Train.
+func BST14(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	return bst14(s, f, opt, f.Params().StronglyConvex())
+}
+
+func bst14(s sgd.Samples, f loss.Function, opt Options, stronglyConvex bool) (*Result, error) {
+	o := opt.withDefaults()
+	if err := o.Budget.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Budget.Pure() {
+		return nil, errors.New("baselines: BST14 supports only (ε,δ)-DP with δ > 0 (advanced composition)")
+	}
+	if o.Rand == nil {
+		return nil, errors.New("baselines: Options.Rand is required")
+	}
+	if o.Radius <= 0 {
+		return nil, errors.New("baselines: BST14 requires a positive Radius (bounded hypothesis space)")
+	}
+	m := s.Len()
+	if m == 0 {
+		return nil, errors.New("baselines: empty training set")
+	}
+	p := f.Params()
+	if stronglyConvex && !p.StronglyConvex() {
+		return nil, fmt.Errorf("baselines: loss %q is not strongly convex", f.Name())
+	}
+	d := s.Dim()
+	b := o.Batch
+	if b > m {
+		b = m
+	}
+	T, sigma := bst14Noise(o.Budget.Epsilon, o.Budget.Delta, o.Passes, m, b)
+	// G bounds the norm of the noisy summed batch gradient (Alg 4,
+	// line 12): √(dσ² + b²L²).
+	G := math.Sqrt(float64(d)*sigma*sigma + float64(b*b)*p.L*p.L)
+
+	w := make([]float64, d)
+	grad := make([]float64, d)
+	gbuf := make([]float64, d)
+	z := make([]float64, d)
+	draws := 0
+	for t := 1; t <= T; t++ {
+		vec.Zero(grad)
+		for i := 0; i < b; i++ {
+			// Line 10: i_t ~ [m] uniformly (with replacement).
+			x, y := s.At(o.Rand.Intn(m))
+			f.Grad(gbuf, w, x, y)
+			vec.Axpy(grad, 1, gbuf)
+		}
+		// Line 11: z ~ N(0, σ²·ι·I_d), ι = 1 for logistic regression.
+		rng.GaussianVec(o.Rand, z, sigma)
+		draws++
+		vec.Axpy(grad, 1, z)
+		var eta float64
+		if stronglyConvex {
+			eta = 1 / (p.Gamma * float64(t)) // Alg 5, line 12
+		} else {
+			eta = 2 * o.Radius / (G * math.Sqrt(float64(t))) // Alg 4, line 12
+		}
+		vec.Axpy(w, -eta, grad)
+		vec.ProjectBall(w, o.Radius)
+	}
+	return &Result{W: w, Updates: T, NoiseDraws: draws}, nil
+}

@@ -1,0 +1,281 @@
+package bismarck
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"boltondp/internal/dp"
+	"boltondp/internal/loss"
+	"boltondp/internal/vec"
+)
+
+func buildTable(t *testing.T, m, d int, seed int64) *Table {
+	t.Helper()
+	tab := NewMemTable("t", d)
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < m; i++ {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = r.NormFloat64()
+		}
+		if math.Abs(x[0]) < 0.3 {
+			x[0] = math.Copysign(0.3, x[0])
+		}
+		vec.Normalize(x)
+		if err := tab.Insert(x, math.Copysign(1, x[0])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestPartitions(t *testing.T) {
+	tab := buildTable(t, 103, 3, 1)
+	parts, err := tab.Partitions(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("%d partitions", len(parts))
+	}
+	total := 0
+	prev := 0
+	for _, p := range parts {
+		if p[0] != prev {
+			t.Fatalf("gap: partition starts at %d, want %d", p[0], prev)
+		}
+		total += p[1] - p[0]
+		prev = p[1]
+	}
+	if total != 103 || prev != 103 {
+		t.Errorf("partitions cover %d of 103 rows", total)
+	}
+	if _, err := tab.Partitions(0); err == nil {
+		t.Error("0 partitions accepted")
+	}
+	if _, err := tab.Partitions(104); err == nil {
+		t.Error("more partitions than rows accepted")
+	}
+}
+
+func TestSegmentView(t *testing.T) {
+	tab := buildTable(t, 50, 4, 2)
+	seg := &segment{t: tab, lo: 10, hi: 25, scratch: make([]float64, 4)}
+	if seg.Len() != 15 || seg.Dim() != 4 {
+		t.Fatalf("segment shape %dx%d", seg.Len(), seg.Dim())
+	}
+	wantX, wantY := tab.At(12)
+	want := vec.Copy(wantX)
+	gotX, gotY := seg.At(2)
+	if !vec.Equal(gotX, want, 0) || gotY != wantY {
+		t.Error("segment At(2) != table At(12)")
+	}
+}
+
+func TestParallelOneWorkerMatchesShape(t *testing.T) {
+	tab := buildTable(t, 400, 5, 3)
+	f := loss.NewLogistic(1e-2, 0)
+	res, err := ParallelTrainUDA(tab, f, ParallelTrainConfig{
+		Workers: 1, Algorithm: Noiseless, Passes: 3, Batch: 10,
+		Radius: 100, NoShuffle: true, Rand: rand.New(rand.NewSource(4)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PartModels) != 1 {
+		t.Fatalf("%d partition models", len(res.PartModels))
+	}
+	// Merge of one model is that model.
+	if !vec.Equal(res.W, res.PartModels[0], 1e-12) {
+		t.Error("P=1 merge differs from the single model")
+	}
+	if res.Updates != 3*40 {
+		t.Errorf("updates %d", res.Updates)
+	}
+}
+
+func TestParallelTrainsAccurately(t *testing.T) {
+	tab := buildTable(t, 2000, 5, 5)
+	f := loss.NewLogistic(1e-2, 0)
+	res, err := ParallelTrainUDA(tab, f, ParallelTrainConfig{
+		Workers: 4, Algorithm: Noiseless, Passes: 5, Batch: 10,
+		Radius: 100, NoShuffle: true, Rand: rand.New(rand.NewSource(6)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < tab.Len(); i++ {
+		x, y := tab.At(i)
+		if math.Copysign(1, vec.Dot(res.W, x)) == y {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 2000; acc < 0.9 {
+		t.Errorf("parallel merged accuracy %v", acc)
+	}
+}
+
+func TestParallelDeterministic(t *testing.T) {
+	run := func() []float64 {
+		tab := buildTable(t, 300, 4, 7)
+		f := loss.NewLogistic(1e-2, 0)
+		res, err := ParallelTrainUDA(tab, f, ParallelTrainConfig{
+			Workers: 3, Algorithm: OutputPerturb,
+			Budget: dp.Budget{Epsilon: 1},
+			Passes: 2, Batch: 5, Radius: 100, NoShuffle: true,
+			Rand: rand.New(rand.NewSource(8)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.W
+	}
+	if !vec.Equal(run(), run(), 0) {
+		t.Error("parallel run not deterministic under fixed seed")
+	}
+}
+
+func TestParallelSensitivityFormula(t *testing.T) {
+	// Strongly convex: Δ_parallel = 2L/(γ·minPart·b)/P; with equal
+	// partitions minPart = m/P so this equals the sequential 2L/(γm).
+	tab := buildTable(t, 1000, 4, 9)
+	lambda := 1e-2
+	f := loss.NewLogistic(lambda, 0)
+	p := f.Params()
+	res, err := ParallelTrainUDA(tab, f, ParallelTrainConfig{
+		Workers: 5, Algorithm: OutputPerturb, Budget: dp.Budget{Epsilon: 1},
+		Passes: 2, Batch: 10, Radius: 1 / lambda, NoShuffle: true,
+		Rand: rand.New(rand.NewSource(10)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dp.SensitivityStronglyConvex(p.L, p.Gamma, 200) / 5
+	if math.Abs(res.Sensitivity-want) > 1e-15 {
+		t.Errorf("sensitivity %v, want %v", res.Sensitivity, want)
+	}
+	seq := dp.SensitivityStronglyConvex(p.L, p.Gamma, 1000)
+	if math.Abs(res.Sensitivity-seq) > 1e-15 {
+		t.Errorf("parallel sensitivity %v should equal sequential %v (equal partitions)", res.Sensitivity, seq)
+	}
+}
+
+func TestParallelRejects(t *testing.T) {
+	tab := buildTable(t, 100, 3, 11)
+	f := loss.NewLogistic(0, 0)
+	r := rand.New(rand.NewSource(12))
+	if _, err := ParallelTrainUDA(tab, f, ParallelTrainConfig{Workers: 2, Algorithm: AlgSCS13, Rand: r}); err == nil {
+		t.Error("white-box algorithm accepted")
+	}
+	if _, err := ParallelTrainUDA(tab, f, ParallelTrainConfig{Workers: 0, Rand: r}); err == nil {
+		t.Error("0 workers accepted")
+	}
+	if _, err := ParallelTrainUDA(tab, f, ParallelTrainConfig{Workers: 2}); err == nil {
+		t.Error("nil rand accepted")
+	}
+	if _, err := ParallelTrainUDA(tab, f, ParallelTrainConfig{
+		Workers: 2, Algorithm: OutputPerturb, Rand: r,
+	}); err == nil {
+		t.Error("invalid budget accepted")
+	}
+	empty := NewMemTable("e", 3)
+	if _, err := ParallelTrainUDA(empty, f, ParallelTrainConfig{Workers: 1, Rand: r}); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+// Parallel training over a disk table with a pool far smaller than the
+// table: concurrent segment scans must be correct (run under -race in
+// CI) and produce the same merged model as a memory table.
+func TestParallelDiskTableSmallPool(t *testing.T) {
+	mem := buildTable(t, 600, 5, 20)
+	path := t.TempDir() + "/p.tbl"
+	disk, err := CreateDiskTable(path, 5, 3) // 3-page pool, many pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Remove()
+	if err := disk.InsertAll(mem); err != nil {
+		t.Fatal(err)
+	}
+	f := loss.NewLogistic(1e-2, 0)
+	cfg := ParallelTrainConfig{
+		Workers: 4, Algorithm: Noiseless, Passes: 3, Batch: 5,
+		Radius: 100, NoShuffle: true,
+	}
+	cfg.Rand = rand.New(rand.NewSource(21))
+	rm, err := ParallelTrainUDA(mem, f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Rand = rand.New(rand.NewSource(21))
+	rd, err := ParallelTrainUDA(disk, f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.Equal(rm.W, rd.W, 1e-12) {
+		t.Error("disk-backed parallel model differs from memory-backed one")
+	}
+	if disk.Stats().Reads == 0 {
+		t.Error("no page reads recorded")
+	}
+}
+
+// The empirical parallel-sensitivity property: replace one row, rerun
+// with the same seeds, and the merged models must stay within the
+// claimed Δ_parallel.
+func TestParallelEmpiricalSensitivityProperty(t *testing.T) {
+	lambda := 0.05
+	f := loss.NewLogistic(lambda, 0)
+	p := f.Params()
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(100 + seed))
+		m, d, workers := 120, 3, 3
+		rows := make([][]float64, m)
+		ys := make([]float64, m)
+		for i := 0; i < m; i++ {
+			x := make([]float64, d)
+			for j := range x {
+				x[j] = r.NormFloat64()
+			}
+			vec.Normalize(x)
+			rows[i] = x
+			ys[i] = math.Copysign(1, r.NormFloat64())
+		}
+		build := func(alt int, ax []float64, ay float64) *Table {
+			tab := NewMemTable("t", d)
+			for i := 0; i < m; i++ {
+				if i == alt {
+					tab.Insert(ax, ay)
+					continue
+				}
+				tab.Insert(rows[i], ys[i])
+			}
+			return tab
+		}
+		alt := r.Intn(m)
+		nx := []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		vec.Normalize(nx)
+
+		cfg := ParallelTrainConfig{
+			Workers: workers, Algorithm: Noiseless, Passes: 2, Batch: 2,
+			Radius: 1 / lambda, NoShuffle: true,
+			Rand: rand.New(rand.NewSource(500 + seed)),
+		}
+		r1, err := ParallelTrainUDA(build(alt, rows[alt], ys[alt]), f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Rand = rand.New(rand.NewSource(500 + seed)) // same worker seeds
+		r2, err := ParallelTrainUDA(build(alt, nx, math.Copysign(1, r.NormFloat64())), f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := dp.SensitivityStronglyConvex(p.L, p.Gamma, m/workers) / float64(workers)
+		if dist := vec.Dist(r1.W, r2.W); dist > bound+1e-9 {
+			t.Fatalf("seed %d: parallel empirical sensitivity %v exceeds bound %v", seed, dist, bound)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package bismarck
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"boltondp/internal/sgd"
+)
+
+// Table is a page-organized table of (feature vector, label) rows. It
+// is either memory-resident or file-backed behind a fixed-capacity
+// buffer pool. After loading (Insert calls) it is treated as read-only
+// except for Shuffle, which rewrites it in permuted order the way
+// Bismarck's "ORDER BY RANDOM()" materializes a shuffled relation.
+//
+// Table implements sgd.Samples; At reuses an internal scratch buffer,
+// so it must not be called concurrently (matching the single-threaded
+// UDA execution model of the paper's experiments).
+type Table struct {
+	name string
+	d    int
+	n    int
+	rpp  int // rows per page
+
+	// Exactly one of mem / (file, pool) is set.
+	mem  [][]byte
+	file *os.File
+	path string
+	pool *bufferPool
+
+	tail    []byte // partially filled last page during loading
+	tailLen int    // rows in tail
+
+	scratch []float64
+}
+
+// NewMemTable creates an in-memory table for rows of dimension d.
+func NewMemTable(name string, d int) *Table {
+	if d < 1 {
+		panic(fmt.Sprintf("bismarck: dimension %d", d))
+	}
+	return &Table{name: name, d: d, rpp: rowsPerPage(d), scratch: make([]float64, d)}
+}
+
+// CreateDiskTable creates a file-backed table at path whose buffer pool
+// holds poolPages pages. A pool smaller than the table forces real file
+// I/O during scans — the "disk-based" regime of Figure 2(b).
+func CreateDiskTable(path string, d, poolPages int) (*Table, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("bismarck: dimension %d", d)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("bismarck: %w", err)
+	}
+	t := &Table{
+		name: path, d: d, rpp: rowsPerPage(d),
+		file: f, path: path, scratch: make([]float64, d),
+	}
+	t.pool = newBufferPool(f, poolPages)
+	return t, nil
+}
+
+// Name returns the table name (the file path for disk tables).
+func (t *Table) Name() string { return t.name }
+
+// Len implements sgd.Samples.
+func (t *Table) Len() int { return t.n }
+
+// Dim implements sgd.Samples.
+func (t *Table) Dim() int { return t.d }
+
+// NumPages returns the number of pages the table occupies.
+func (t *Table) NumPages() int { return (t.n + t.rpp - 1) / t.rpp }
+
+// Stats returns buffer-pool statistics (zero value for memory tables).
+func (t *Table) Stats() PoolStats {
+	if t.pool == nil {
+		return PoolStats{}
+	}
+	return t.pool.snapshotStats()
+}
+
+// Insert appends one row. len(x) must equal Dim.
+func (t *Table) Insert(x []float64, y float64) error {
+	if len(x) != t.d {
+		return fmt.Errorf("bismarck: row dim %d, want %d", len(x), t.d)
+	}
+	if t.tail == nil {
+		t.tail = make([]byte, PageSize)
+		t.tailLen = 0
+	}
+	encodeRow(t.tail, t.tailLen*rowBytes(t.d), x, y)
+	t.tailLen++
+	t.n++
+	if t.tailLen == t.rpp {
+		if err := t.flushTail(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertAll loads every example of s.
+func (t *Table) InsertAll(s sgd.Samples) error {
+	for i := 0; i < s.Len(); i++ {
+		x, y := s.At(i)
+		if err := t.Insert(x, y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) flushTail() error {
+	if t.tail == nil {
+		return nil
+	}
+	if t.file != nil {
+		if _, err := t.file.Write(t.tail); err != nil {
+			return fmt.Errorf("bismarck: append page: %w", err)
+		}
+	} else {
+		t.mem = append(t.mem, t.tail)
+	}
+	t.tail = nil
+	t.tailLen = 0
+	return nil
+}
+
+// Flush finishes loading: the partially filled last page is written
+// out. Reading (At/Scan) flushes implicitly, so callers rarely need it.
+func (t *Table) Flush() error { return t.flushTail() }
+
+// page returns the raw bytes of page id.
+func (t *Table) page(id int) ([]byte, error) {
+	if t.file != nil {
+		return t.pool.get(id)
+	}
+	if id < 0 || id >= len(t.mem) {
+		return nil, fmt.Errorf("bismarck: page %d out of range", id)
+	}
+	return t.mem[id], nil
+}
+
+// At implements sgd.Samples. The returned slice is a scratch buffer
+// valid until the next At or Scan call.
+func (t *Table) At(i int) ([]float64, float64) {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("bismarck: row %d out of range [0,%d)", i, t.n))
+	}
+	if t.tail != nil {
+		if err := t.flushTail(); err != nil {
+			panic(err)
+		}
+	}
+	pg, err := t.page(i / t.rpp)
+	if err != nil {
+		panic(err)
+	}
+	y := decodeRow(pg, (i%t.rpp)*rowBytes(t.d), t.scratch)
+	return t.scratch, y
+}
+
+// Scan iterates the table in storage order, invoking fn per row. The x
+// slice passed to fn is a scratch buffer valid only during the call.
+// This is the sequential heap scan an aggregate query performs.
+func (t *Table) Scan(fn func(x []float64, y float64) error) error {
+	if t.tail != nil {
+		if err := t.flushTail(); err != nil {
+			return err
+		}
+	}
+	row := 0
+	rb := rowBytes(t.d)
+	for pid := 0; pid < t.NumPages(); pid++ {
+		pg, err := t.page(pid)
+		if err != nil {
+			return err
+		}
+		for off := 0; off < t.rpp && row < t.n; off++ {
+			y := decodeRow(pg, off*rb, t.scratch)
+			if err := fn(t.scratch, y); err != nil {
+				return err
+			}
+			row++
+		}
+	}
+	return nil
+}
+
+// Shuffle materializes the table in uniformly random row order — the
+// "Shuffle" step of Figure 1(A), done once before the SGD epochs. For
+// disk tables the shuffled relation is written sequentially to a new
+// file which atomically replaces the old one.
+func (t *Table) Shuffle(r *rand.Rand) error {
+	if r == nil {
+		return errors.New("bismarck: Shuffle requires a random source")
+	}
+	if err := t.flushTail(); err != nil {
+		return err
+	}
+	perm := r.Perm(t.n)
+	if t.file == nil {
+		return t.shuffleMem(perm)
+	}
+	return t.shuffleDisk(perm)
+}
+
+func (t *Table) shuffleMem(perm []int) error {
+	rb := rowBytes(t.d)
+	newPages := make([][]byte, 0, t.NumPages())
+	cur := make([]byte, PageSize)
+	cnt := 0
+	x := make([]float64, t.d)
+	for _, src := range perm {
+		pg := t.mem[src/t.rpp]
+		y := decodeRow(pg, (src%t.rpp)*rb, x)
+		encodeRow(cur, cnt*rb, x, y)
+		cnt++
+		if cnt == t.rpp {
+			newPages = append(newPages, cur)
+			cur = make([]byte, PageSize)
+			cnt = 0
+		}
+	}
+	if cnt > 0 {
+		newPages = append(newPages, cur)
+	}
+	t.mem = newPages
+	return nil
+}
+
+func (t *Table) shuffleDisk(perm []int) error {
+	tmpPath := t.path + ".shuffle"
+	out, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("bismarck: %w", err)
+	}
+	rb := rowBytes(t.d)
+	cur := make([]byte, PageSize)
+	cnt := 0
+	x := make([]float64, t.d)
+	for _, src := range perm {
+		pg, err := t.page(src / t.rpp)
+		if err != nil {
+			out.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		y := decodeRow(pg, (src%t.rpp)*rb, x)
+		encodeRow(cur, cnt*rb, x, y)
+		cnt++
+		if cnt == t.rpp {
+			if _, err := out.Write(cur); err != nil {
+				out.Close()
+				os.Remove(tmpPath)
+				return fmt.Errorf("bismarck: %w", err)
+			}
+			for i := range cur {
+				cur[i] = 0
+			}
+			cnt = 0
+		}
+	}
+	if cnt > 0 {
+		if _, err := out.Write(cur); err != nil {
+			out.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("bismarck: %w", err)
+		}
+	}
+	if err := out.Close(); err != nil {
+		return fmt.Errorf("bismarck: %w", err)
+	}
+	if err := t.file.Close(); err != nil {
+		return fmt.Errorf("bismarck: %w", err)
+	}
+	if err := os.Rename(tmpPath, t.path); err != nil {
+		return fmt.Errorf("bismarck: %w", err)
+	}
+	f, err := os.Open(t.path)
+	if err != nil {
+		return fmt.Errorf("bismarck: %w", err)
+	}
+	t.file = f
+	t.pool = newBufferPool(f, t.pool.capacity)
+	return nil
+}
+
+// Close releases the backing file (no-op for memory tables).
+func (t *Table) Close() error {
+	if err := t.flushTail(); err != nil {
+		return err
+	}
+	if t.file != nil {
+		err := t.file.Close()
+		t.file = nil
+		return err
+	}
+	return nil
+}
+
+// Remove closes the table and deletes its backing file.
+func (t *Table) Remove() error {
+	if err := t.Close(); err != nil {
+		return err
+	}
+	if t.path != "" {
+		return os.Remove(t.path)
+	}
+	return nil
+}

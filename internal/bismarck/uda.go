@@ -1,0 +1,146 @@
+package bismarck
+
+import (
+	"fmt"
+
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+	"boltondp/internal/vec"
+)
+
+// Agg is the user-defined-aggregate contract of §4.2: "The developer
+// has to provide implementations of three functions in the UDA's C API:
+// initialize, transition, and terminate, all of which operate on the
+// aggregation state."
+//
+// Initialize receives the previous epoch's output (nil on the first
+// epoch); Transition consumes one tuple; Terminate returns the epoch's
+// aggregate.
+type Agg interface {
+	Initialize(prev any)
+	Transition(x []float64, y float64)
+	Terminate() any
+}
+
+// AvgAgg computes the mean label — the paper's expository AVG example
+// ("the state for AVG is the 2-tuple (sum, count)").
+type AvgAgg struct {
+	sum   float64
+	count int
+}
+
+// Initialize implements Agg: (sum, count) = (0, 0).
+func (a *AvgAgg) Initialize(prev any) { a.sum, a.count = 0, 0 }
+
+// Transition implements Agg: (sum, count) += (y, 1).
+func (a *AvgAgg) Transition(x []float64, y float64) { a.sum += y; a.count++ }
+
+// Terminate implements Agg: sum/count.
+func (a *AvgAgg) Terminate() any {
+	if a.count == 0 {
+		return 0.0
+	}
+	return a.sum / float64(a.count)
+}
+
+// SGDAgg is the mini-batch SGD aggregate of Figure 1: the aggregation
+// state is the model w plus the accumulated gradient of the current
+// mini-batch and the counters tracking batches seen so far. One
+// aggregate invocation over the (shuffled) table is one epoch.
+//
+// NoiseInject is integration point (C): when non-nil it is called on
+// every completed mini-batch gradient before the update — the deep
+// transition-function change SCS13 and BST14 require. The bolt-on
+// algorithms leave it nil and perturb only the driver's final output
+// (integration point (B)).
+type SGDAgg struct {
+	Loss   loss.Function
+	Step   sgd.Schedule
+	Batch  int
+	Radius float64
+	// NoiseInject, if set, may modify the averaged batch gradient in
+	// place. t is the global 1-based update counter (across epochs).
+	NoiseInject func(t int, grad []float64)
+
+	w     []float64
+	t     int // global update counter, persists across epochs
+	acc   []float64
+	gbuf  []float64
+	inAcc int
+	total int // rows per epoch (0 = unknown); see SetEpochRows
+	seen  int // rows consumed this epoch
+}
+
+// SetEpochRows tells the aggregate how many rows one epoch scans. With
+// it, a trailing remainder (rows mod Batch) is merged into the final
+// mini-batch instead of forming a short one — the same soundness fix
+// as the sgd engine's (a short batch of size s would have sensitivity
+// 2ηL/s > 2ηL/b). The driver sets this from the table's row count;
+// without it (0) the aggregate falls back to flushing the short batch.
+func (a *SGDAgg) SetEpochRows(m int) { a.total = m }
+
+// NewSGDAgg constructs the aggregate for models of dimension d.
+func NewSGDAgg(d int, f loss.Function, step sgd.Schedule, batch int, radius float64) *SGDAgg {
+	if d < 1 {
+		panic(fmt.Sprintf("bismarck: dimension %d", d))
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	return &SGDAgg{
+		Loss: f, Step: step, Batch: batch, Radius: radius,
+		w: make([]float64, d), acc: make([]float64, d), gbuf: make([]float64, d),
+	}
+}
+
+// Initialize implements Agg: "for SGD, it sets w to the value given by
+// the Python controller (the previous epoch's output model)".
+func (a *SGDAgg) Initialize(prev any) {
+	if prev != nil {
+		copy(a.w, prev.([]float64))
+	}
+	vec.Zero(a.acc)
+	a.inAcc = 0
+	a.seen = 0
+}
+
+// Transition implements Agg: accumulate the tuple's gradient; when the
+// mini-batch is full, apply the (possibly noise-injected) update. If
+// the epoch's row count is known and fewer than Batch rows remain,
+// they are merged into the current batch (applied at Terminate).
+func (a *SGDAgg) Transition(x []float64, y float64) {
+	a.Loss.Grad(a.gbuf, a.w, x, y)
+	vec.Axpy(a.acc, 1, a.gbuf)
+	a.inAcc++
+	a.seen++
+	if a.inAcc >= a.Batch {
+		if a.total > 0 && a.total-a.seen < a.Batch && a.total-a.seen > 0 {
+			return // hold: merge the remainder into this batch
+		}
+		a.applyBatch()
+	}
+}
+
+// Terminate implements Agg: flush a trailing partial batch and return
+// the epoch's model (a copy, so the driver owns it).
+func (a *SGDAgg) Terminate() any {
+	if a.inAcc > 0 {
+		a.applyBatch()
+	}
+	return vec.Copy(a.w)
+}
+
+// Updates returns the global update counter (for tests and reporting).
+func (a *SGDAgg) Updates() int { return a.t }
+
+func (a *SGDAgg) applyBatch() {
+	vec.Scale(a.acc, 1/float64(a.inAcc))
+	a.t++
+	if a.NoiseInject != nil {
+		a.NoiseInject(a.t, a.acc)
+	}
+	vec.Axpy(a.w, -a.Step.Eta(a.t), a.acc)
+	vec.ProjectBall(a.w, a.Radius)
+	vec.Zero(a.acc)
+	a.inAcc = 0
+}

@@ -1,0 +1,176 @@
+// Package cli implements the dpsgd command's logic as a testable
+// library: flag parsing, dataset selection, training dispatch and
+// report formatting, with all I/O injected.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"boltondp/internal/baselines"
+	"boltondp/internal/core"
+	"boltondp/internal/data"
+	"boltondp/internal/dp"
+	"boltondp/internal/eval"
+	"boltondp/internal/loss"
+)
+
+// DPSGDConfig is the parsed command line of cmd/dpsgd.
+type DPSGDConfig struct {
+	DataPath string
+	Sim      string
+	Scale    float64
+	Algo     string
+	LossName string
+	Lambda   float64
+	HuberH   float64
+	Eps      float64
+	Delta    float64
+	Passes   int
+	Batch    int
+	Seed     int64
+	SavePath string
+}
+
+// ParseDPSGD parses args (excluding argv[0]) into a config.
+func ParseDPSGD(args []string, stderr io.Writer) (*DPSGDConfig, error) {
+	cfg := &DPSGDConfig{}
+	fs := flag.NewFlagSet("dpsgd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&cfg.DataPath, "data", "", "LIBSVM training file (overrides -sim)")
+	fs.StringVar(&cfg.Sim, "sim", "protein", "built-in simulator: mnist|protein|covtype|higgs|kdd")
+	fs.Float64Var(&cfg.Scale, "scale", 0.05, "simulator scale (1.0 = paper-sized)")
+	fs.StringVar(&cfg.Algo, "algo", "ours", "ours|noiseless|scs13|bst14")
+	fs.StringVar(&cfg.LossName, "loss", "logistic", "logistic|huber")
+	fs.Float64Var(&cfg.Lambda, "lambda", 1e-3, "L2 regularization λ (0 = convex case)")
+	fs.Float64Var(&cfg.HuberH, "huber-h", 0.1, "Huber smoothing width")
+	fs.Float64Var(&cfg.Eps, "eps", 0.1, "privacy budget ε")
+	fs.Float64Var(&cfg.Delta, "delta", 0, "privacy budget δ (0 = pure ε-DP)")
+	fs.IntVar(&cfg.Passes, "passes", 10, "passes over the data (k)")
+	fs.IntVar(&cfg.Batch, "batch", 50, "mini-batch size (b)")
+	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
+	fs.StringVar(&cfg.SavePath, "save", "", "write the trained model (JSON) to this path")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// simGenerators maps -sim names to dataset simulators.
+var simGenerators = map[string]func(*rand.Rand, float64) (*data.Dataset, *data.Dataset){
+	"mnist":   data.MNISTSim,
+	"protein": data.ProteinSim,
+	"covtype": data.CovtypeSim,
+	"higgs":   data.HIGGSSim,
+	"kdd":     data.KDDSim,
+}
+
+// RunDPSGD executes a parsed config, writing the report to out.
+func RunDPSGD(cfg *DPSGDConfig, out io.Writer) error {
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	var train, test *data.Dataset
+	switch {
+	case cfg.DataPath != "":
+		full, err := data.LoadLIBSVM(cfg.DataPath, 0)
+		if err != nil {
+			return err
+		}
+		full.Normalize()
+		train, test = full.Split(r, 0.8)
+	default:
+		gen := simGenerators[cfg.Sim]
+		if gen == nil {
+			return fmt.Errorf("cli: unknown simulator %q", cfg.Sim)
+		}
+		train, test = gen(r, cfg.Scale)
+	}
+	if train.Classes > 2 {
+		return fmt.Errorf("cli: multiclass training is not supported here; see examples/multiclass")
+	}
+
+	var f loss.Function
+	switch cfg.LossName {
+	case "logistic":
+		f = loss.NewLogistic(cfg.Lambda, 0)
+	case "huber":
+		f = loss.NewHuber(cfg.HuberH, cfg.Lambda, 0)
+	default:
+		return fmt.Errorf("cli: unknown loss %q", cfg.LossName)
+	}
+	radius := 0.0
+	if cfg.Lambda > 0 {
+		radius = 1 / cfg.Lambda
+	}
+	budget := dp.Budget{Epsilon: cfg.Eps, Delta: cfg.Delta}
+
+	fmt.Fprintf(out, "train: m=%d d=%d  test: m=%d  loss=%s  algo=%s  budget=%v\n",
+		train.Len(), train.Dim(), test.Len(), f.Name(), cfg.Algo, budget)
+
+	var w []float64
+	switch cfg.Algo {
+	case "ours":
+		res, err := core.Train(train, f, core.Options{
+			Budget: budget, Passes: cfg.Passes, Batch: cfg.Batch, Radius: radius, Rand: r,
+		})
+		if err != nil {
+			return err
+		}
+		w = res.W
+		fmt.Fprintf(out, "sensitivity Δ₂=%.6g  noise ‖κ‖=%.4g  updates=%d\n",
+			res.Sensitivity, res.NoiseNorm, res.Updates)
+	case "noiseless":
+		res, err := baselines.Noiseless(train, f, baselines.Options{
+			Passes: cfg.Passes, Batch: cfg.Batch, Radius: radius, Rand: r,
+		})
+		if err != nil {
+			return err
+		}
+		w = res.W
+	case "scs13":
+		res, err := baselines.SCS13(train, f, baselines.Options{
+			Budget: budget, Passes: cfg.Passes, Batch: cfg.Batch, Radius: radius, Rand: r,
+		})
+		if err != nil {
+			return err
+		}
+		w = res.W
+		fmt.Fprintf(out, "per-batch noise draws: %d\n", res.NoiseDraws)
+	case "bst14":
+		if radius <= 0 {
+			radius = 10
+		}
+		res, err := baselines.BST14(train, f, baselines.Options{
+			Budget: budget, Passes: cfg.Passes, Batch: cfg.Batch, Radius: radius, Rand: r,
+		})
+		if err != nil {
+			return err
+		}
+		w = res.W
+		fmt.Fprintf(out, "per-batch noise draws: %d\n", res.NoiseDraws)
+	default:
+		return fmt.Errorf("cli: unknown algorithm %q", cfg.Algo)
+	}
+
+	model := &eval.Linear{W: w}
+	fmt.Fprintf(out, "train accuracy: %.4f\n", eval.Accuracy(train, model))
+	fmt.Fprintf(out, "test  accuracy: %.4f\n", eval.Accuracy(test, model))
+
+	if cfg.SavePath != "" {
+		meta := map[string]string{
+			"algorithm": cfg.Algo,
+			"loss":      f.Name(),
+			"epsilon":   fmt.Sprint(cfg.Eps),
+			"delta":     fmt.Sprint(cfg.Delta),
+			"passes":    fmt.Sprint(cfg.Passes),
+			"batch":     fmt.Sprint(cfg.Batch),
+		}
+		if err := eval.SaveClassifier(cfg.SavePath, model, meta); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "model written to %s\n", cfg.SavePath)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package cli
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"boltondp/internal/eval"
+)
+
+func TestParseDPSGDDefaults(t *testing.T) {
+	cfg, err := ParseDPSGD(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sim != "protein" || cfg.Algo != "ours" || cfg.Eps != 0.1 ||
+		cfg.Passes != 10 || cfg.Batch != 50 || cfg.Lambda != 1e-3 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func TestParseDPSGDFlags(t *testing.T) {
+	cfg, err := ParseDPSGD([]string{
+		"-sim", "kdd", "-algo", "bst14", "-eps", "2", "-delta", "1e-6",
+		"-passes", "3", "-batch", "7", "-lambda", "0.01", "-seed", "9",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sim != "kdd" || cfg.Algo != "bst14" || cfg.Eps != 2 ||
+		cfg.Delta != 1e-6 || cfg.Passes != 3 || cfg.Batch != 7 || cfg.Seed != 9 {
+		t.Errorf("parsed: %+v", cfg)
+	}
+}
+
+func TestParseDPSGDBadFlag(t *testing.T) {
+	if _, err := ParseDPSGD([]string{"-passes", "nope"}, io.Discard); err == nil {
+		t.Error("bad flag value accepted")
+	}
+}
+
+func runQuick(t *testing.T, mutate func(*DPSGDConfig)) (string, error) {
+	t.Helper()
+	cfg, err := ParseDPSGD(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scale = 0.005
+	cfg.Passes = 2
+	if mutate != nil {
+		mutate(cfg)
+	}
+	var out bytes.Buffer
+	err = RunDPSGD(cfg, &out)
+	return out.String(), err
+}
+
+func TestRunDPSGDAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"ours", "noiseless", "scs13"} {
+		out, err := runQuick(t, func(c *DPSGDConfig) { c.Algo = algo })
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out, "test  accuracy:") {
+			t.Errorf("%s: missing accuracy line in %q", algo, out)
+		}
+	}
+	// BST14 needs δ > 0.
+	out, err := runQuick(t, func(c *DPSGDConfig) { c.Algo = "bst14"; c.Delta = 1e-6 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "per-batch noise draws") {
+		t.Errorf("bst14 output: %q", out)
+	}
+}
+
+func TestRunDPSGDHuber(t *testing.T) {
+	out, err := runQuick(t, func(c *DPSGDConfig) { c.LossName = "huber" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "huber") {
+		t.Errorf("loss name missing: %q", out)
+	}
+}
+
+func TestRunDPSGDErrors(t *testing.T) {
+	for name, mutate := range map[string]func(*DPSGDConfig){
+		"bad sim":        func(c *DPSGDConfig) { c.Sim = "nope" },
+		"bad loss":       func(c *DPSGDConfig) { c.LossName = "nope" },
+		"bad algo":       func(c *DPSGDConfig) { c.Algo = "nope" },
+		"multiclass sim": func(c *DPSGDConfig) { c.Sim = "mnist" },
+		"bst14 no delta": func(c *DPSGDConfig) { c.Algo = "bst14" },
+		"missing file":   func(c *DPSGDConfig) { c.DataPath = "/nonexistent.libsvm" },
+	} {
+		if _, err := runQuick(t, mutate); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRunDPSGDSaveModel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	out, err := runQuick(t, func(c *DPSGDConfig) { c.SavePath = path })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "model written to") {
+		t.Errorf("save confirmation missing: %q", out)
+	}
+	model, meta, err := eval.LoadClassifier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := model.(*eval.Linear); !ok {
+		t.Errorf("loaded %T", model)
+	}
+	if meta["algorithm"] != "ours" || meta["epsilon"] != "0.1" {
+		t.Errorf("meta %v", meta)
+	}
+}
+
+func TestRunDPSGDFromLIBSVMFile(t *testing.T) {
+	// Build a tiny separable LIBSVM file and train on it end to end.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "train.libsvm")
+	var b strings.Builder
+	for i := 0; i < 120; i++ {
+		if i%2 == 0 {
+			b.WriteString("1 1:0.8 2:0.1\n")
+		} else {
+			b.WriteString("-1 1:-0.8 2:0.1\n")
+		}
+	}
+	if err := writeFile(path, b.String()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runQuick(t, func(c *DPSGDConfig) {
+		c.DataPath = path
+		c.Eps = 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "d=2") {
+		t.Errorf("dimension not picked up from file: %q", out)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

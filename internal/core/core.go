@@ -1,0 +1,308 @@
+// Package core implements the paper's primary contribution: the bolt-on
+// differentially private PSGD algorithms — Algorithm 1 (convex) and
+// Algorithm 2 (strongly convex) — together with all the extensions of
+// §3.2.3 (mini-batching, model averaging, fresh permutations,
+// constrained optimization, (ε,δ)-DP via Gaussian noise) and the three
+// convex step-size families of Corollaries 1–3.
+//
+// The defining property of the approach is preserved structurally: this
+// package calls the SGD engine strictly as a black box (sgd.Run with no
+// GradNoise hook) and perturbs only the returned model, with noise
+// calibrated by the sensitivity calculus in internal/dp. Swapping in
+// any other conforming SGD implementation — e.g. the Bismarck-style
+// in-RDBMS engine in internal/bismarck — requires no change here, which
+// is the paper's "ease of integration" claim in code form.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"boltondp/internal/dp"
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+)
+
+// StepKind selects the convex step-size family (Table 4 + Cors 2–3).
+type StepKind int
+
+const (
+	// StepConstant is η_t = η (Algorithm 1; default η = 1/√m).
+	StepConstant StepKind = iota
+	// StepDecreasing is η_t = 2/(β(t+m^c)) (Corollary 2).
+	StepDecreasing
+	// StepSqrt is η_t = 2/(β(√t+m^c)) (Corollary 3).
+	StepSqrt
+)
+
+// String implements fmt.Stringer.
+func (k StepKind) String() string {
+	switch k {
+	case StepConstant:
+		return "constant"
+	case StepDecreasing:
+		return "decreasing"
+	case StepSqrt:
+		return "sqrt"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// Options configures a private PSGD run. The zero value plus a Budget
+// and a Rand is usable: one pass, batch 1, paper-default step sizes.
+type Options struct {
+	// Budget is the privacy guarantee to enforce. Delta = 0 gives pure
+	// ε-DP (Theorem 4 / 5); Delta > 0 gives (ε,δ)-DP (Theorem 6 / 7).
+	Budget dp.Budget
+
+	// Passes is k, the number of passes over the data (default 1).
+	Passes int
+
+	// Batch is the mini-batch size b (default 1). The convex
+	// constant-step sensitivity improves by the factor b (§3.2.3); for
+	// the other schedules see the batch-aware forms in internal/dp.
+	Batch int
+
+	// Eta is the constant step size for the convex algorithm. Zero
+	// means the paper's default 1/√m (Table 4). It is clamped to 2/β,
+	// the validity boundary of Lemma 1.1; the clamped value is used in
+	// the sensitivity too, so privacy never degrades.
+	Eta float64
+
+	// Step selects the convex step-size family. Ignored by the
+	// strongly convex algorithm, which always uses min(1/β, 1/(γt)).
+	Step StepKind
+
+	// C is the m^c offset exponent for StepDecreasing/StepSqrt
+	// (default 0.5). Must lie in [0, 1).
+	C float64
+
+	// Radius constrains the hypothesis space to the L2 ball of this
+	// radius via projected updates (rule (7)). Non-positive means
+	// unconstrained. The paper uses R = 1/λ for strongly convex runs.
+	Radius float64
+
+	// Average returns the uniform iterate average instead of the last
+	// iterate (Lemma 10: never hurts sensitivity).
+	Average bool
+
+	// AverageTail returns the average of the last ⌈ln T⌉ iterates — the
+	// other scheme Lemma 10 covers. Mutually exclusive with Average.
+	AverageTail bool
+
+	// FreshPerm resamples the permutation each pass (§3.2.3).
+	FreshPerm bool
+
+	// PaperBatchSensitivity calibrates the strongly convex noise to the
+	// paper's Δ₂ = 2L/(γmb) (§3.2.3's blanket factor-b claim applied to
+	// Algorithm 2). Our analysis and brute-force neighboring-dataset
+	// runs show that bound is violated for b > 1 (see the note on
+	// dp.SensitivityStronglyConvex), so the default is the sound
+	// b-independent Δ₂ = 2L/(γm). Set this only to reproduce the
+	// paper's reported figures; do not rely on it for real privacy.
+	PaperBatchSensitivity bool
+
+	// Tol enables the strongly-convex "oblivious k" strategy of §4.3:
+	// run until the per-pass risk decrease falls below Tol or Passes is
+	// reached. Only legal for the strongly convex algorithm, whose
+	// sensitivity does not depend on k; the convex constructor rejects
+	// it because its noise must be fixed in advance.
+	Tol float64
+
+	// Rand is the randomness source for the permutation and the noise.
+	Rand *rand.Rand
+}
+
+func (o *Options) withDefaults(m int) Options {
+	out := *o
+	if out.Passes == 0 {
+		out.Passes = 1
+	}
+	if out.Batch == 0 {
+		out.Batch = 1
+	}
+	if out.C == 0 {
+		out.C = 0.5
+	}
+	if out.Eta == 0 {
+		out.Eta = 1 / math.Sqrt(float64(m))
+	}
+	return out
+}
+
+func (o *Options) validate() error {
+	if err := o.Budget.Validate(); err != nil {
+		return err
+	}
+	if o.Passes < 0 || o.Batch < 0 {
+		return fmt.Errorf("core: negative Passes (%d) or Batch (%d)", o.Passes, o.Batch)
+	}
+	if o.C < 0 || o.C >= 1 {
+		return fmt.Errorf("core: C must be in [0,1), got %v", o.C)
+	}
+	if o.Rand == nil {
+		return errors.New("core: Options.Rand is required")
+	}
+	return nil
+}
+
+// Result reports one private training run.
+type Result struct {
+	// W is the differentially private model — the only field safe to
+	// release under the stated budget.
+	W []float64
+
+	// NonPrivate is the pre-noise SGD output. It is NOT private and is
+	// exposed only so experiments can report the accuracy cost of the
+	// perturbation. Never publish it.
+	NonPrivate []float64
+
+	// Sensitivity is the L2-sensitivity Δ₂ the noise was calibrated to.
+	Sensitivity float64
+
+	// NoiseNorm is ‖κ‖, the realized noise magnitude.
+	NoiseNorm float64
+
+	// Updates and Passes echo the underlying SGD run.
+	Updates int
+	Passes  int
+}
+
+// PrivateConvexPSGD is Algorithm 1 (plus extensions): k-pass PSGD with
+// the selected convex step family, output-perturbed with sensitivity
+//
+//	Δ₂ = 2kLη/b                               (constant, Corollary 1)
+//	Δ₂ = (4L/β)(1/(b·m^c) + ln k/m)           (decreasing, Corollary 2, batch-aware)
+//	Δ₂ = (4L/(bβ))Σ_j 1/√(j·m/b+1+m^c)        (square-root, Corollary 3, batch-aware)
+//
+// under Options.Budget. The loss must be convex (γ may be 0; a strongly
+// convex loss is allowed but Algorithm 2 gives strictly less noise).
+func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if opt.Tol > 0 {
+		return nil, errors.New("core: Tol-based early stopping is not private in the convex case (noise depends on k); fix Passes instead")
+	}
+	m := s.Len()
+	if m == 0 {
+		return nil, errors.New("core: empty training set")
+	}
+	o := opt.withDefaults(m)
+	p := f.Params()
+	if o.Batch > m {
+		o.Batch = m // mirror the engine's clamp so Δ₂ is not over-divided
+	}
+
+	var step sgd.Schedule
+	var sens float64
+	switch o.Step {
+	case StepConstant:
+		eta := math.Min(o.Eta, 2/p.Beta) // Lemma 1.1 validity
+		step = sgd.Constant(eta)
+		sens = dp.SensitivityConvexConstant(p.L, eta, o.Passes, o.Batch)
+	case StepDecreasing:
+		step = sgd.DecreasingConvex(p.Beta, m, o.C)
+		sens = dp.SensitivityConvexDecreasing(p.L, p.Beta, o.Passes, m, o.Batch, o.C)
+	case StepSqrt:
+		step = sgd.SqrtConvex(p.Beta, m, o.C)
+		sens = dp.SensitivityConvexSqrt(p.L, p.Beta, o.Passes, m, o.Batch, o.C)
+	default:
+		return nil, fmt.Errorf("core: unknown StepKind %v", o.Step)
+	}
+
+	res, err := sgd.Run(s, sgd.Config{
+		Loss:        f,
+		Step:        step,
+		Passes:      o.Passes,
+		Batch:       o.Batch,
+		Radius:      o.Radius,
+		Average:     o.Average,
+		AverageTail: o.AverageTail,
+		FreshPerm:   o.FreshPerm,
+		Rand:        o.Rand,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return perturb(res, o, sens)
+}
+
+// PrivateStronglyConvexPSGD is Algorithm 2 (plus extensions): k-pass
+// PSGD at η_t = min(1/β, 1/(γt)), output-perturbed with
+// Δ₂ = 2L/(γm) (Lemma 8, sound batch-aware form) — independent of k,
+// so Options.Tol early
+// stopping is allowed (§4.3 "the number of passes k is oblivious to
+// private SGD"). The loss must be γ-strongly convex.
+func PrivateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	m := s.Len()
+	if m == 0 {
+		return nil, errors.New("core: empty training set")
+	}
+	p := f.Params()
+	if !p.StronglyConvex() {
+		return nil, fmt.Errorf("core: loss %q is not strongly convex (γ=0); use PrivateConvexPSGD", f.Name())
+	}
+	o := opt.withDefaults(m)
+
+	res, err := sgd.Run(s, sgd.Config{
+		Loss:        f,
+		Step:        sgd.StronglyConvexPaper(p.Beta, p.Gamma),
+		Passes:      o.Passes,
+		Batch:       o.Batch,
+		Radius:      o.Radius,
+		Average:     o.Average,
+		AverageTail: o.AverageTail,
+		FreshPerm:   o.FreshPerm,
+		Rand:        o.Rand,
+		Tol:         o.Tol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sens float64
+	if o.PaperBatchSensitivity {
+		sens = dp.SensitivityStronglyConvexPaperBatch(p.L, p.Gamma, m, o.Batch)
+	} else {
+		sens = dp.SensitivityStronglyConvex(p.L, p.Gamma, m)
+	}
+	return perturb(res, o, sens)
+}
+
+// Train dispatches to the tighter applicable algorithm: Algorithm 2
+// when the loss is strongly convex, Algorithm 1 otherwise.
+func Train(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	if f.Params().StronglyConvex() {
+		return PrivateStronglyConvexPSGD(s, f, opt)
+	}
+	return PrivateConvexPSGD(s, f, opt)
+}
+
+// perturb applies the output perturbation step (lines 3–5 of
+// Algorithms 1–2) to the black-box SGD result.
+func perturb(res *sgd.Result, o Options, sens float64) (*Result, error) {
+	model := res.Model()
+	private, err := o.Budget.Perturb(o.Rand, model, sens)
+	if err != nil {
+		return nil, err
+	}
+	var noise float64
+	for i := range model {
+		d := private[i] - model[i]
+		noise += d * d
+	}
+	return &Result{
+		W:           private,
+		NonPrivate:  model,
+		Sensitivity: sens,
+		NoiseNorm:   math.Sqrt(noise),
+		Updates:     res.Updates,
+		Passes:      res.Passes,
+	}, nil
+}

@@ -1,0 +1,69 @@
+package data
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The LIBSVM parsers accept arbitrary user files and must never panic:
+// malformed input is an error, not a crash. Both parsers must also
+// agree on validity (they implement the same grammar).
+func FuzzLoadLIBSVM(f *testing.F) {
+	f.Add("1 1:0.5 3:0.25\n-1 2:1\n")
+	f.Add("0 1:1\n1 2:2\n")
+	f.Add("# comment\n\n1 1:1\n")
+	f.Add("x 1:1\n")
+	f.Add("1 0:1\n")
+	f.Add("1 1:\n")
+	f.Add("1 :5\n")
+	f.Add("1 1:1e300 2:-1e300\n")
+	f.Add("3.5 10:0.1\n")
+	f.Fuzz(func(t *testing.T, content string) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "f.libsvm")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Skip()
+		}
+		dense, denseErr := LoadLIBSVM(path, 0)
+		sparse, sparseErr := LoadLIBSVMSparse(path, 0)
+		if (denseErr == nil) != (sparseErr == nil) {
+			t.Fatalf("parsers disagree on validity: dense=%v sparse=%v", denseErr, sparseErr)
+		}
+		if denseErr != nil {
+			return
+		}
+		if dense.Len() != sparse.Len() {
+			t.Fatalf("row counts differ: %d vs %d", dense.Len(), sparse.Len())
+		}
+		if dense.Len() > 0 && dense.Dim() != sparse.Dim() {
+			t.Fatalf("dims differ: %d vs %d", dense.Dim(), sparse.Dim())
+		}
+	})
+}
+
+// Stream generation must hold its invariants for any seed/shape.
+func FuzzStreamInvariants(f *testing.F) {
+	f.Add(int64(1), 10, 3)
+	f.Add(int64(-5), 1, 1)
+	f.Add(int64(99), 100, 20)
+	f.Fuzz(func(t *testing.T, seed int64, m, d int) {
+		if m < 1 || m > 200 || d < 1 || d > 50 {
+			t.Skip()
+		}
+		s := NewStream(seed, m, d, 0.4, 0.05)
+		for i := 0; i < m; i++ {
+			x, y := s.At(i)
+			var n float64
+			for _, v := range x {
+				n += v * v
+			}
+			if n > 1+1e-9 {
+				t.Fatalf("row %d norm² = %v", i, n)
+			}
+			if y != 1 && y != -1 {
+				t.Fatalf("label %v", y)
+			}
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"boltondp/internal/dp"
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+	"boltondp/internal/vec"
+)
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	dense := Synthetic(r, GenConfig{Name: "t", M: 100, D: 12, Classes: 2, Spread: 0.4})
+	// Zero out some coordinates to make it genuinely sparse.
+	for _, x := range dense.X {
+		for j := range x {
+			if j%3 != 0 {
+				x[j] = 0
+			}
+		}
+	}
+	sp := FromDense(dense)
+	if sp.Len() != dense.Len() || sp.Dim() != dense.Dim() {
+		t.Fatalf("shape %dx%d, want %dx%d", sp.Len(), sp.Dim(), dense.Len(), dense.Dim())
+	}
+	for i := 0; i < dense.Len(); i++ {
+		dx, dy := dense.At(i)
+		sx, sy := sp.At(i)
+		if !vec.Equal(dx, sx, 0) || dy != sy {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+	if sp.Density() >= 0.5 {
+		t.Errorf("density %v not sparse", sp.Density())
+	}
+	if sp.NNZ() == 0 {
+		t.Error("no stored non-zeros")
+	}
+}
+
+func TestSparseAppendValidation(t *testing.T) {
+	d := NewSparseDataset("t", 5)
+	s, _ := vec.NewSparse([]int{7}, []float64{1})
+	if err := d.Append(s, 1); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	ok, _ := vec.NewSparse([]int{4}, []float64{1})
+	if err := d.Append(ok, 1); err != nil {
+		t.Errorf("valid append rejected: %v", err)
+	}
+}
+
+func TestSparseRowView(t *testing.T) {
+	d := NewSparseDataset("t", 4)
+	s, _ := vec.NewSparse([]int{1, 3}, []float64{2, 4})
+	d.Append(s, -1)
+	row, y := d.Row(0)
+	if y != -1 || row.NNZ() != 2 || row.Idx[1] != 3 || row.Val[1] != 4 {
+		t.Errorf("Row = %v/%v y=%v", row.Idx, row.Val, y)
+	}
+}
+
+func TestSparseNormalize(t *testing.T) {
+	d := NewSparseDataset("t", 3)
+	big, _ := vec.NewSparse([]int{0, 1}, []float64{3, 4})
+	small, _ := vec.NewSparse([]int{2}, []float64{0.5})
+	d.Append(big, 1)
+	d.Append(small, -1)
+	d.Normalize()
+	r0, _ := d.Row(0)
+	if math.Abs(r0.Norm()-1) > 1e-12 {
+		t.Errorf("big row norm %v", r0.Norm())
+	}
+	r1, _ := d.Row(1)
+	if r1.Val[0] != 0.5 {
+		t.Error("small row should be untouched")
+	}
+}
+
+func TestLoadLIBSVMSparseMatchesDense(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.libsvm")
+	content := "1 1:0.5 3:0.25\n-1 2:1\n1 1:0.1\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := LoadLIBSVMSparse(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, err := LoadLIBSVM(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Len() != de.Len() || sp.Dim() != de.Dim() {
+		t.Fatalf("sparse %dx%d vs dense %dx%d", sp.Len(), sp.Dim(), de.Len(), de.Dim())
+	}
+	for i := 0; i < de.Len(); i++ {
+		sx, sy := sp.At(i)
+		dx, dy := de.At(i)
+		if !vec.Equal(sx, dx, 0) || sy != dy {
+			t.Fatalf("row %d: sparse %v/%v dense %v/%v", i, sx, sy, dx, dy)
+		}
+	}
+}
+
+func TestLoadLIBSVMSparseErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for name, content := range map[string]string{
+		"bad label": "x 1:1\n", "bad pair": "1 nope\n", "bad idx": "1 0:1\n",
+		"bad val": "1 1:zz\n", "empty": "\n",
+	} {
+		if _, err := LoadLIBSVMSparse(write(name, content), 0); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := LoadLIBSVMSparse(filepath.Join(dir, "nope"), 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSparseSyntheticInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	d := SparseSynthetic(r, 500, 200, 10, 0.02)
+	if d.Len() != 500 || d.Dim() != 200 {
+		t.Fatalf("shape %dx%d", d.Len(), d.Dim())
+	}
+	if den := d.Density(); den > 0.08 {
+		t.Errorf("density %v too high for nnz=10/200", den)
+	}
+	for i := 0; i < d.Len(); i++ {
+		row, y := d.Row(i)
+		if row.Norm() > 1+1e-12 {
+			t.Fatalf("row %d norm %v", i, row.Norm())
+		}
+		if y != 1 && y != -1 {
+			t.Fatalf("label %v", y)
+		}
+	}
+}
+
+func TestSparseSyntheticPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	defer func() {
+		if recover() == nil {
+			t.Error("nnz > dim accepted")
+		}
+	}()
+	SparseSynthetic(r, 10, 5, 6, 0)
+}
+
+// A SparseDataset must plug directly into the private trainer — the
+// whole point of implementing sgd.Samples.
+func TestSparseDatasetTrainsPrivately(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	d := SparseSynthetic(r, 3000, 100, 8, 0.02)
+	f := loss.NewLogistic(1e-2, 0)
+	p := f.Params()
+	res, err := sgd.Run(d, sgd.Config{
+		Loss: f, Step: sgd.StronglyConvexPaper(p.Beta, p.Gamma),
+		Passes: 5, Batch: 20, Radius: 100, Rand: r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < d.Len(); i++ {
+		x, y := d.At(i)
+		if math.Copysign(1, vec.Dot(res.W, x)) == y {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(d.Len())
+	if acc < 0.8 {
+		t.Errorf("sparse training accuracy %v", acc)
+	}
+	// And the output-perturbation step works on top.
+	priv, err := dp.Budget{Epsilon: 1}.Perturb(r, res.W,
+		dp.SensitivityStronglyConvex(p.L, p.Gamma, d.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(priv) != 100 {
+		t.Error("bad private model")
+	}
+}

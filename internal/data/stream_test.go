@@ -1,0 +1,98 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+	"boltondp/internal/vec"
+)
+
+func TestStreamDeterministicPerIndex(t *testing.T) {
+	s := NewStream(42, 1000, 8, 0.3, 0.02)
+	x1, y1 := s.At(123)
+	a := vec.Copy(x1)
+	// Access other rows, then come back.
+	s.At(0)
+	s.At(999)
+	x2, y2 := s.At(123)
+	if !vec.Equal(a, x2, 0) || y1 != y2 {
+		t.Error("stream row 123 not deterministic across accesses")
+	}
+	// Two streams with the same seed agree.
+	s2 := NewStream(42, 1000, 8, 0.3, 0.02)
+	x3, y3 := s2.At(123)
+	if !vec.Equal(a, x3, 0) || y1 != y3 {
+		t.Error("stream not deterministic across instances")
+	}
+}
+
+func TestStreamInvariants(t *testing.T) {
+	s := NewStream(7, 500, 6, 0.5, 0.05)
+	if s.Len() != 500 || s.Dim() != 6 {
+		t.Fatalf("shape %dx%d", s.Len(), s.Dim())
+	}
+	plus := 0
+	for i := 0; i < s.Len(); i++ {
+		x, y := s.At(i)
+		if vec.Norm(x) > 1+1e-12 {
+			t.Fatalf("row %d norm %v", i, vec.Norm(x))
+		}
+		if y != 1 && y != -1 {
+			t.Fatalf("label %v", y)
+		}
+		if y == 1 {
+			plus++
+		}
+	}
+	// Roughly balanced classes.
+	if plus < 150 || plus > 350 {
+		t.Errorf("class balance %d/500", plus)
+	}
+}
+
+func TestStreamNeighborRowsDiffer(t *testing.T) {
+	s := NewStream(1, 100, 5, 0.3, 0)
+	a := vec.Copy(firstOf(s.At(0)))
+	b := vec.Copy(firstOf(s.At(1)))
+	if vec.Equal(a, b, 1e-12) {
+		t.Error("adjacent stream rows identical — index mixing broken")
+	}
+}
+
+func firstOf(x []float64, _ float64) []float64 { return x }
+
+func TestStreamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range At did not panic")
+		}
+	}()
+	NewStream(1, 10, 2, 0.3, 0).At(10)
+}
+
+// A Stream is trainable like any other Samples — the use case behind
+// paper-scale scalability runs.
+func TestStreamTrains(t *testing.T) {
+	s := NewStream(3, 4000, 10, 0.25, 0.02)
+	f := loss.NewLogistic(0, 0)
+	res, err := sgd.Run(s, sgd.Config{
+		Loss: f, Step: sgd.Constant(1 / math.Sqrt(4000)), Passes: 3, Batch: 10,
+		Rand: rand.New(rand.NewSource(4)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < s.Len(); i++ {
+		x, y := s.At(i)
+		if math.Copysign(1, vec.Dot(res.W, x)) == y {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(s.Len()); acc < 0.85 {
+		t.Errorf("stream training accuracy %v", acc)
+	}
+}

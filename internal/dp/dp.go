@@ -1,0 +1,260 @@
+// Package dp implements the differential-privacy machinery of the
+// paper: the output-perturbation mechanisms (Theorems 1 and 3), the
+// L2-sensitivity calculus for PSGD (Corollaries 1–3, Lemmas 7–8, with
+// the mini-batch improvement of §3.2.3), simple and advanced
+// composition, and the ε₁ solver used by the extended BST14 baselines
+// (Algorithms 4–5, line 5).
+//
+// The sensitivity functions are pure functions of the loss constants
+// (L, β, γ) and the run shape (k passes, m examples, batch b, step
+// size); they are unit-tested against the closed forms in the paper and
+// property-tested against brute-force pairwise SGD runs on neighboring
+// datasets (the empirical ‖A(r;S)−A(r;S′)‖ must never exceed the bound).
+package dp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"boltondp/internal/rng"
+)
+
+// Budget is an (ε, δ) differential-privacy budget. Delta = 0 denotes
+// pure ε-differential privacy (Laplace-style noise, Theorem 1);
+// Delta > 0 selects the Gaussian mechanism (Theorem 3).
+type Budget struct {
+	Epsilon float64
+	Delta   float64
+}
+
+// Pure reports whether the budget is pure ε-DP (δ = 0).
+func (b Budget) Pure() bool { return b.Delta == 0 }
+
+// Validate returns an error if the budget is not usable.
+func (b Budget) Validate() error {
+	if b.Epsilon <= 0 {
+		return fmt.Errorf("dp: epsilon must be positive, got %v", b.Epsilon)
+	}
+	if b.Delta < 0 || b.Delta >= 1 {
+		return fmt.Errorf("dp: delta must be in [0,1), got %v", b.Delta)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (b Budget) String() string {
+	if b.Pure() {
+		return fmt.Sprintf("ε=%g", b.Epsilon)
+	}
+	return fmt.Sprintf("(ε=%g, δ=%g)", b.Epsilon, b.Delta)
+}
+
+// Split divides the budget evenly across n sub-computations using the
+// simple composition theorem ([17] in the paper) — the strategy §4.3
+// uses for the 10 one-vs-all MNIST sub-models. Both ε and δ divide.
+func (b Budget) Split(n int) Budget {
+	if n < 1 {
+		panic(fmt.Sprintf("dp: Split over %d parts", n))
+	}
+	return Budget{Epsilon: b.Epsilon / float64(n), Delta: b.Delta / float64(n)}
+}
+
+// Perturb returns w + κ where κ is calibrated to the given
+// L2-sensitivity under this budget: Gamma-magnitude spherical noise for
+// pure ε-DP (Theorem 1), per-component Gaussian for (ε,δ)-DP
+// (Theorem 3). The input is not modified.
+func (b Budget) Perturb(r *rand.Rand, w []float64, sensitivity float64) ([]float64, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if sensitivity < 0 {
+		return nil, fmt.Errorf("dp: negative sensitivity %v", sensitivity)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("dp: nil random source")
+	}
+	out := make([]float64, len(w))
+	copy(out, w)
+	noise := make([]float64, len(w))
+	if b.Pure() {
+		rng.GammaSphere(r, noise, sensitivity, b.Epsilon)
+	} else {
+		sigma := rng.GaussianSigma(sensitivity, b.Epsilon, b.Delta)
+		rng.GaussianVec(r, noise, sigma)
+	}
+	for i := range out {
+		out[i] += noise[i]
+	}
+	return out, nil
+}
+
+// NoiseScale reports the characteristic scale of the noise this budget
+// adds at the given sensitivity: the expected noise norm d·Δ/ε for pure
+// ε-DP, and σ√d for the Gaussian mechanism. Used for reporting only.
+func (b Budget) NoiseScale(d int, sensitivity float64) float64 {
+	if b.Pure() {
+		return float64(d) * sensitivity / b.Epsilon
+	}
+	return rng.GaussianSigma(sensitivity, b.Epsilon, b.Delta) * math.Sqrt(float64(d))
+}
+
+// ---------------------------------------------------------------------
+// L2-sensitivity calculus for PSGD (paper §3.2.1–3.2.3).
+//
+// Every function takes the mini-batch size b and applies the factor-b
+// improvement of §3.2.3 ("Mini-batching"). Pass b = 1 for plain PSGD.
+// ---------------------------------------------------------------------
+
+func checkKMB(k, m, b int) {
+	if k < 1 || m < 1 || b < 1 {
+		panic(fmt.Sprintf("dp: sensitivity requires k,m,b >= 1, got k=%d m=%d b=%d", k, m, b))
+	}
+}
+
+// SensitivityConvexConstant is Corollary 1 (Algorithm 1, line 3):
+// Δ₂ = 2kLη / b for L-Lipschitz convex β-smooth losses run k passes at
+// constant step η ≤ 2/β.
+func SensitivityConvexConstant(L, eta float64, k, b int) float64 {
+	if L < 0 || eta <= 0 {
+		panic(fmt.Sprintf("dp: bad L=%v eta=%v", L, eta))
+	}
+	checkKMB(k, 1, b)
+	return 2 * float64(k) * L * eta / float64(b)
+}
+
+// SensitivityConvexDecreasing is Corollary 2 made batch-aware: for
+// step sizes η_t = 2/(β(t+m^c)) with t counting mini-batch updates,
+// Δ₂ = (4L/β)(1/(b·m^c) + ln k / m). At b = 1 this is the paper's
+// (4L/β)(1/m^c + ln k/m); for larger b only the first-pass term gains
+// the full 1/b (later passes hit the differing batch at t ≥ j·m/b, so
+// the 1/b of the additive term cancels against the b-fold earlier
+// position — the same phenomenon as SensitivityStronglyConvex).
+func SensitivityConvexDecreasing(L, beta float64, k, m, b int, c float64) float64 {
+	if L < 0 || beta <= 0 || c < 0 || c >= 1 {
+		panic(fmt.Sprintf("dp: bad L=%v beta=%v c=%v", L, beta, c))
+	}
+	checkKMB(k, m, b)
+	mc := math.Pow(float64(m), c)
+	return 4 * L / beta * (1/(float64(b)*mc) + math.Log(float64(k))/float64(m))
+}
+
+// SensitivityConvexSqrt is Corollary 3 made batch-aware: for step
+// sizes η_t = 2/(β(√t+m^c)) with t counting mini-batch updates,
+// Δ₂ = (4L/(bβ)) Σ_{j=0}^{k-1} 1/√(j·m/b + 1 + m^c). (The exact finite
+// sum is used rather than the big-O simplification; at b = 1 it is the
+// paper's Σ 1/√(jm+1+m^c).)
+func SensitivityConvexSqrt(L, beta float64, k, m, b int, c float64) float64 {
+	if L < 0 || beta <= 0 || c < 0 || c >= 1 {
+		panic(fmt.Sprintf("dp: bad L=%v beta=%v c=%v", L, beta, c))
+	}
+	checkKMB(k, m, b)
+	mc := math.Pow(float64(m), c)
+	perPass := float64(m) / float64(b)
+	var sum float64
+	for j := 0; j < k; j++ {
+		sum += 1 / math.Sqrt(float64(j)*perPass+1+mc)
+	}
+	return 4 * L / beta * sum / float64(b)
+}
+
+// SensitivityStronglyConvex is Lemma 8 (Algorithm 2, line 3): for
+// γ-strongly convex losses with η_t = min(1/β, 1/(γt)),
+// Δ₂ = 2L/(γm). Independent of the number of passes k — the property
+// that makes k oblivious to privacy for Algorithm 2 (§4.3) — and, in
+// this implementation, independent of the mini-batch size b.
+//
+// REPRODUCTION FINDING — the paper's §3.2.3 claims a factor-b
+// improvement for "all our sensitivity bounds", which would give
+// 2L/(γmb) here. That does not survive Lemma 8's own telescoping when
+// the decreasing schedule counts mini-batch updates (as any batched
+// implementation, including Bismarck's UDA, does): the b-fold smaller
+// additive term 2η_t·L/b is exactly cancelled by the b-fold smaller
+// update count T = km/b in the product ∏(1−1/t) = t*/T, leaving
+// 2L/(γm) regardless of b. Brute-force pairwise runs confirm it: the
+// empirical worst-case ‖A(r;S)−A(r;S′)‖ is flat in b and *exceeds*
+// 2L/(γmb) already at b = 10 (see TestPaperBatchBoundIsViolated). The
+// sound bound is used here; SensitivityStronglyConvexPaperBatch exposes
+// the paper's calibration for reproducing its reported figures.
+func SensitivityStronglyConvex(L, gamma float64, m int) float64 {
+	if L < 0 || gamma <= 0 {
+		panic(fmt.Sprintf("dp: bad L=%v gamma=%v", L, gamma))
+	}
+	checkKMB(1, m, 1)
+	return 2 * L / (gamma * float64(m))
+}
+
+// SensitivityStronglyConvexPaperBatch is the paper's Algorithm 2
+// calibration with the §3.2.3 mini-batch division: Δ₂ = 2L/(γmb).
+// Per the finding documented on SensitivityStronglyConvex this
+// under-noises for b > 1; it exists so the experiment harness can
+// reproduce the paper's reported accuracy figures, and should not be
+// used for real privacy guarantees.
+func SensitivityStronglyConvexPaperBatch(L, gamma float64, m, b int) float64 {
+	return SensitivityStronglyConvex(L, gamma, m) / float64(b)
+}
+
+// SensitivityStronglyConvexConstant is Lemma 7 made batch-aware: for
+// γ-strongly convex losses at constant step η ≤ 1/β and U = m/b
+// updates per pass, Δ₂ = 2ηL / (b·(1−(1−ηγ)^(m/b))). (At b = 1 this is
+// the paper's 2ηL/(1−(1−ηγ)^m); for larger b the geometric series runs
+// over U per-pass contractions, so the exponent must shrink with b —
+// the same correction as SensitivityStronglyConvex.)
+func SensitivityStronglyConvexConstant(L, gamma, eta float64, m, b int) float64 {
+	if L < 0 || gamma <= 0 || eta <= 0 {
+		panic(fmt.Sprintf("dp: bad L=%v gamma=%v eta=%v", L, gamma, eta))
+	}
+	if eta*gamma >= 1 {
+		// (1−ηγ) ≤ 0: every pass fully contracts; the bound degenerates
+		// to the single-update bound 2ηL/b.
+		return 2 * eta * L / float64(b)
+	}
+	checkKMB(1, m, b)
+	updatesPerPass := float64(m) / float64(b)
+	den := 1 - math.Pow(1-eta*gamma, updatesPerPass)
+	return 2 * eta * L / (float64(b) * den)
+}
+
+// ---------------------------------------------------------------------
+// Composition.
+// ---------------------------------------------------------------------
+
+// AdvancedCompositionEpsilon returns the total privacy cost
+// ε_total = T·ε₁·(e^{ε₁}−1) + √(2T·ln(1/δ′))·ε₁ of running T
+// ε₁-DP steps, per the advanced composition theorem used by BST14
+// (line 5 of Algorithms 4 and 5).
+func AdvancedCompositionEpsilon(eps1 float64, T int, deltaPrime float64) float64 {
+	if eps1 < 0 || T < 0 || deltaPrime <= 0 || deltaPrime >= 1 {
+		panic(fmt.Sprintf("dp: bad advanced composition args eps1=%v T=%d δ'=%v", eps1, T, deltaPrime))
+	}
+	tf := float64(T)
+	return tf*eps1*(math.Exp(eps1)-1) + math.Sqrt(2*tf*math.Log(1/deltaPrime))*eps1
+}
+
+// SolveEps1 inverts AdvancedCompositionEpsilon: it returns the largest
+// per-step ε₁ such that T compositions cost at most eps under advanced
+// composition with slack δ′. This is exactly line 5 of Algorithms 4–5
+// ("ε₁ ← Solution of ε = Tε₁(e^{ε₁}−1) + √(2T ln(1/δ₁))ε₁"), solved by
+// bisection: the left-hand side is continuous and strictly increasing
+// in ε₁.
+func SolveEps1(eps float64, T int, deltaPrime float64) float64 {
+	if eps <= 0 || T < 1 || deltaPrime <= 0 || deltaPrime >= 1 {
+		panic(fmt.Sprintf("dp: bad SolveEps1 args eps=%v T=%d δ'=%v", eps, T, deltaPrime))
+	}
+	lo, hi := 0.0, 1.0
+	for AdvancedCompositionEpsilon(hi, T, deltaPrime) < eps {
+		hi *= 2
+		if hi > 1e6 {
+			return hi // eps absurdly large; caller gets an effectively noiseless run
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if AdvancedCompositionEpsilon(mid, T, deltaPrime) < eps {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,142 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+	"boltondp/internal/vec"
+)
+
+func TestConvexExcessRiskBoundShape(t *testing.T) {
+	// Decreases with m and ε, grows with d.
+	b := func(d, m int, eps float64) float64 { return ConvexExcessRiskBound(1, 1, d, m, eps) }
+	if !(b(10, 10000, 1) < b(10, 1000, 1)) {
+		t.Error("bound should shrink with m")
+	}
+	if !(b(10, 1000, 4) < b(10, 1000, 0.1)) {
+		t.Error("bound should shrink with ε")
+	}
+	if !(b(100, 1000, 1) > b(10, 1000, 1)) {
+		t.Error("bound should grow with d")
+	}
+	// Exact value check: L=R=1, d=1, m=100, ε=1:
+	// (1 + 2·1.5)/10 + 2/10 = 0.4 + 0.2 = 0.6.
+	if got := b(1, 100, 1); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("bound = %v, want 0.6", got)
+	}
+}
+
+func TestStronglyConvexExcessRiskBoundShape(t *testing.T) {
+	b := func(m int, eps float64) float64 {
+		return StronglyConvexExcessRiskBound(1, 1, 0.01, 1, 1, 10, m, eps)
+	}
+	if !(b(100000, 1) < b(1000, 1)) {
+		t.Error("bound should shrink with m")
+	}
+	if !(b(1000, 4) < b(1000, 0.1)) {
+		t.Error("bound should shrink with ε")
+	}
+	// Strongly convex decays ~1/m, convex ~1/√m: at large m the former
+	// must win at equal constants.
+	sc := StronglyConvexExcessRiskBound(1, 1, 0.1, 1, 1, 5, 1000000, 1)
+	cv := ConvexExcessRiskBound(1, 1, 5, 1000000, 1)
+	if sc >= cv {
+		t.Errorf("strongly convex bound %v should beat convex %v at m=1e6", sc, cv)
+	}
+}
+
+func TestTheoryBoundPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"convex m=0":   func() { ConvexExcessRiskBound(1, 1, 1, 0, 1) },
+		"convex eps=0": func() { ConvexExcessRiskBound(1, 1, 1, 1, 0) },
+		"sc gamma=0":   func() { StronglyConvexExcessRiskBound(1, 1, 0, 1, 1, 1, 1, 1) },
+		"tail d=0":     func() { Budget{Epsilon: 1}.NoiseTailBound(0, 0.1, 1) },
+		"tail gamma=1": func() { Budget{Epsilon: 1}.NoiseTailBound(5, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTable2RateOrdering(t *testing.T) {
+	// The whole point of Table 2: at constant passes our rates beat
+	// BST14's in both regimes, for every m ≥ some small threshold.
+	for _, m := range []int{100, 10000, 1000000} {
+		for _, strongly := range []bool{false, true} {
+			ours, err := Table2Rate("ours", strongly, 50, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bst, err := Table2Rate("bst14", strongly, 50, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ours >= bst {
+				t.Errorf("m=%d strongly=%v: ours rate %v should be < bst14 %v", m, strongly, ours, bst)
+			}
+		}
+	}
+	if _, err := Table2Rate("nope", false, 1, 10); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := Table2Rate("ours", false, 0, 10); err == nil {
+		t.Error("d=0 accepted")
+	}
+}
+
+func TestNoiseTailBoundGaussianInf(t *testing.T) {
+	if !math.IsInf((Budget{Epsilon: 1, Delta: 1e-6}).NoiseTailBound(5, 0.1, 1), 1) {
+		t.Error("Gaussian budget should report +Inf pure-DP tail")
+	}
+}
+
+// Empirical check of Theorem 10's privacy term: the measured risk gap
+// between the private and non-private model should be within the L‖κ‖
+// bound of Lemma 11 for every trial.
+func TestRiskDueToPrivacyLemma11(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	m, d := 500, 5
+	xs := make([][]float64, m)
+	ys := make([]float64, m)
+	for i := 0; i < m; i++ {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = r.NormFloat64()
+		}
+		vec.Normalize(x)
+		xs[i] = x
+		ys[i] = math.Copysign(1, x[0])
+	}
+	s := &sgd.SliceSamples{X: xs, Y: ys}
+	f := loss.NewLogistic(0, 0)
+	L := f.Params().L
+	res, err := sgd.Run(s, sgd.Config{
+		Loss: f, Step: sgd.Constant(0.05), Passes: 2, Rand: r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sgd.EmpiricalRisk(s, f, res.W)
+	for trial := 0; trial < 50; trial++ {
+		priv, err := (Budget{Epsilon: 1}).Perturb(r, res.W, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := make([]float64, d)
+		vec.Sub(diff, priv, res.W)
+		kappa := vec.Norm(diff)
+		gap := math.Abs(sgd.EmpiricalRisk(s, f, priv) - base)
+		if gap > L*kappa+1e-9 {
+			t.Fatalf("risk gap %v exceeds L‖κ‖ = %v (Lemma 11)", gap, L*kappa)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package eval provides model evaluation and the one-vs-all multiclass
+// construction of §4.3: classifiers, test accuracy/error counting, and
+// the even privacy-budget split across the per-class sub-models (simple
+// composition, as the paper uses for the 10 MNIST digits).
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"boltondp/internal/sgd"
+	"boltondp/internal/vec"
+)
+
+// Classifier predicts a label for a feature vector. Binary classifiers
+// return ±1, multiclass classifiers return the class index as float64,
+// matching data.Dataset's label conventions.
+type Classifier interface {
+	Predict(x []float64) float64
+}
+
+// Linear is a binary linear classifier: Predict(x) = sign(⟨w, x⟩).
+type Linear struct {
+	W []float64
+}
+
+// Predict implements Classifier. Ties (exactly zero score) go to +1.
+func (l *Linear) Predict(x []float64) float64 {
+	if vec.Dot(l.W, x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// OneVsAll is a multiclass classifier built from per-class binary
+// models: Predict(x) = argmax_c ⟨w_c, x⟩.
+type OneVsAll struct {
+	W [][]float64 // W[c] is the model for class c
+}
+
+// Predict implements Classifier.
+func (m *OneVsAll) Predict(x []float64) float64 {
+	best, bestScore := 0, math.Inf(-1)
+	for c, w := range m.W {
+		if s := vec.Dot(w, x); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return float64(best)
+}
+
+// Accuracy returns the fraction of examples in s that c classifies
+// correctly.
+func Accuracy(s sgd.Samples, c Classifier) float64 {
+	m := s.Len()
+	if m == 0 {
+		return 0
+	}
+	return 1 - float64(Errors(s, c))/float64(m)
+}
+
+// Errors returns the number of misclassified examples — the χ_i
+// statistic of the private tuning Algorithm 3, line 4.
+func Errors(s sgd.Samples, c Classifier) int {
+	wrong := 0
+	for i := 0; i < s.Len(); i++ {
+		x, y := s.At(i)
+		if c.Predict(x) != y {
+			wrong++
+		}
+	}
+	return wrong
+}
+
+// BinaryView exposes a multiclass sample set as the binary
+// one-vs-all problem for a single class: the label is +1 where the
+// underlying label equals Class and −1 elsewhere.
+type BinaryView struct {
+	S     sgd.Samples
+	Class float64
+}
+
+// Len implements sgd.Samples.
+func (b *BinaryView) Len() int { return b.S.Len() }
+
+// Dim implements sgd.Samples.
+func (b *BinaryView) Dim() int { return b.S.Dim() }
+
+// At implements sgd.Samples.
+func (b *BinaryView) At(i int) ([]float64, float64) {
+	x, y := b.S.At(i)
+	if y == b.Class {
+		return x, 1
+	}
+	return x, -1
+}
+
+// BinaryTrainer trains one binary model on the given (already
+// relabeled) view. TrainOneVsAll passes the class index so trainers can
+// split privacy budgets or log progress.
+type BinaryTrainer func(view sgd.Samples, class int) ([]float64, error)
+
+// TrainOneVsAll builds a one-vs-all multiclass model by invoking the
+// trainer once per class on the relabeled views. The trainer is
+// responsible for using a per-class budget of ε/classes (see
+// dp.Budget.Split), as §4.3 prescribes for MNIST.
+func TrainOneVsAll(s sgd.Samples, classes int, train BinaryTrainer) (*OneVsAll, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("eval: need >= 2 classes, got %d", classes)
+	}
+	if train == nil {
+		return nil, errors.New("eval: nil trainer")
+	}
+	model := &OneVsAll{W: make([][]float64, classes)}
+	for c := 0; c < classes; c++ {
+		w, err := train(&BinaryView{S: s, Class: float64(c)}, c)
+		if err != nil {
+			return nil, fmt.Errorf("eval: class %d: %w", c, err)
+		}
+		if len(w) != s.Dim() {
+			return nil, fmt.Errorf("eval: class %d: model dim %d, want %d", c, len(w), s.Dim())
+		}
+		model.W[c] = w
+	}
+	return model, nil
+}
+
+// ConfusionMatrix returns counts[actual][predicted] for a multiclass
+// classifier over s. Labels must be integers in [0, classes).
+func ConfusionMatrix(s sgd.Samples, c Classifier, classes int) [][]int {
+	out := make([][]int, classes)
+	for i := range out {
+		out[i] = make([]int, classes)
+	}
+	for i := 0; i < s.Len(); i++ {
+		x, y := s.At(i)
+		p := int(c.Predict(x))
+		a := int(y)
+		if a >= 0 && a < classes && p >= 0 && p < classes {
+			out[a][p]++
+		}
+	}
+	return out
+}

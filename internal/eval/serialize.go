@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// modelFile is the on-disk JSON representation of a trained classifier.
+// Meta is free-form: callers typically record the loss, the privacy
+// budget and the sensitivity the release was calibrated to, so that a
+// published model file carries its own privacy statement.
+type modelFile struct {
+	Kind string            `json:"kind"` // "linear" | "onevsall"
+	W    [][]float64       `json:"w"`
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// SaveClassifier writes a Linear or OneVsAll classifier to path as
+// JSON. Other Classifier implementations are rejected.
+func SaveClassifier(path string, c Classifier, meta map[string]string) error {
+	var mf modelFile
+	mf.Meta = meta
+	switch m := c.(type) {
+	case *Linear:
+		mf.Kind = "linear"
+		mf.W = [][]float64{m.W}
+	case *OneVsAll:
+		mf.Kind = "onevsall"
+		mf.W = m.W
+	default:
+		return fmt.Errorf("eval: cannot serialize %T", c)
+	}
+	data, err := json.MarshalIndent(&mf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadClassifier reads a classifier written by SaveClassifier and
+// returns it together with its metadata.
+func LoadClassifier(path string) (Classifier, map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("eval: %w", err)
+	}
+	var mf modelFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return nil, nil, fmt.Errorf("eval: %s: %w", path, err)
+	}
+	switch mf.Kind {
+	case "linear":
+		if len(mf.W) != 1 || len(mf.W[0]) == 0 {
+			return nil, nil, fmt.Errorf("eval: %s: malformed linear model", path)
+		}
+		return &Linear{W: mf.W[0]}, mf.Meta, nil
+	case "onevsall":
+		if len(mf.W) < 2 {
+			return nil, nil, fmt.Errorf("eval: %s: one-vs-all model needs >= 2 classes", path)
+		}
+		d := len(mf.W[0])
+		for i, w := range mf.W {
+			if len(w) != d || d == 0 {
+				return nil, nil, fmt.Errorf("eval: %s: class %d has dim %d, want %d", path, i, len(w), d)
+			}
+		}
+		return &OneVsAll{W: mf.W}, mf.Meta, nil
+	default:
+		return nil, nil, fmt.Errorf("eval: %s: unknown model kind %q", path, mf.Kind)
+	}
+}

@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"boltondp/internal/vec"
+)
+
+func TestSaveLoadLinear(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	orig := &Linear{W: []float64{1.5, -2.25, 0}}
+	meta := map[string]string{"epsilon": "0.1", "loss": "logistic"}
+	if err := SaveClassifier(path, orig, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotMeta, err := LoadClassifier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, ok := got.(*Linear)
+	if !ok {
+		t.Fatalf("loaded %T, want *Linear", got)
+	}
+	if !vec.Equal(lin.W, orig.W, 0) {
+		t.Errorf("weights %v != %v", lin.W, orig.W)
+	}
+	if gotMeta["epsilon"] != "0.1" || gotMeta["loss"] != "logistic" {
+		t.Errorf("meta %v", gotMeta)
+	}
+}
+
+func TestSaveLoadOneVsAll(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	orig := &OneVsAll{W: [][]float64{{1, 0}, {0, 1}, {-1, -1}}}
+	if err := SaveClassifier(path, orig, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadClassifier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ova, ok := got.(*OneVsAll)
+	if !ok {
+		t.Fatalf("loaded %T", got)
+	}
+	for c := range orig.W {
+		if !vec.Equal(ova.W[c], orig.W[c], 0) {
+			t.Errorf("class %d weights differ", c)
+		}
+	}
+	// Behavior preserved.
+	x := []float64{0.2, 0.9}
+	if orig.Predict(x) != got.Predict(x) {
+		t.Error("loaded model predicts differently")
+	}
+}
+
+type fakeClassifier struct{}
+
+func (fakeClassifier) Predict([]float64) float64 { return 0 }
+
+func TestSaveRejectsUnknownType(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := SaveClassifier(path, fakeClassifier{}, nil); err == nil {
+		t.Error("unknown classifier type accepted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"not json":        "{",
+		"unknown kind":    `{"kind":"svm","w":[[1]]}`,
+		"linear no rows":  `{"kind":"linear","w":[]}`,
+		"linear empty":    `{"kind":"linear","w":[[]]}`,
+		"ova one class":   `{"kind":"onevsall","w":[[1]]}`,
+		"ova ragged dims": `{"kind":"onevsall","w":[[1,2],[3]]}`,
+	}
+	for name, content := range cases {
+		if _, _, err := LoadClassifier(write(name+".json", content)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, _, err := LoadClassifier(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

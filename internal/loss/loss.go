@@ -1,0 +1,266 @@
+// Package loss implements the convex per-example loss functions the
+// paper evaluates — logistic regression, Huber SVM and (as an extra)
+// least squares, each with optional L2 regularization — together with
+// the derivation of the constants (L, β, γ) of Definition 1 that the
+// sensitivity calculus in internal/dp consumes.
+//
+// All derivations assume the paper's preprocessing: every feature
+// vector is normalized to the unit ball (‖x‖ ≤ 1) and, when λ > 0, the
+// hypothesis space is the ball of radius R (‖w‖ ≤ R). The constants
+// follow §2 of the paper exactly:
+//
+//	logistic, λ = 0:  L = 1,      β = 1,        γ = 0
+//	logistic, λ > 0:  L = 1+λR,   β = 1+λ,      γ = λ
+//	Huber(h), λ = 0:  L = 1,      β = 1/(2h),   γ = 0
+//	Huber(h), λ > 0:  L = 1+λR,   β = 1/(2h)+λ, γ = λ
+package loss
+
+import (
+	"fmt"
+	"math"
+
+	"boltondp/internal/vec"
+)
+
+// Params carries the optimization-theoretic constants of a loss
+// (Definition 1 of the paper): the Lipschitz constant L of the loss,
+// the smoothness β of its gradient, and the strong-convexity modulus γ.
+type Params struct {
+	L     float64 // Lipschitz constant of ℓ(·, z)
+	Beta  float64 // smoothness: ‖∇ℓ(u)−∇ℓ(v)‖ ≤ β‖u−v‖
+	Gamma float64 // strong convexity (0 for merely convex losses)
+}
+
+// StronglyConvex reports whether the loss is γ-strongly convex for γ>0.
+func (p Params) StronglyConvex() bool { return p.Gamma > 0 }
+
+// Function is a per-example loss ℓ(w; (x, y)) with gradient in w.
+// Implementations must be convex in w for every example, as required by
+// the paper's privacy analysis.
+type Function interface {
+	// Name identifies the loss in logs and experiment output.
+	Name() string
+	// Eval returns ℓ(w; (x, y)).
+	Eval(w, x []float64, y float64) float64
+	// Grad writes ∇_w ℓ(w; (x, y)) into dst. dst must have len(w).
+	Grad(dst, w, x []float64, y float64)
+	// Params returns (L, β, γ) under the preprocessing assumptions
+	// ‖x‖ ≤ 1 and ‖w‖ ≤ R (the R used at construction).
+	Params() Params
+}
+
+// Logistic is the L2-regularized logistic loss of equation (1):
+//
+//	ℓ(w; (x,y)) = ln(1 + exp(−y·⟨w,x⟩)) + (λ/2)‖w‖²,  y ∈ {±1}.
+type Logistic struct {
+	Lambda float64 // L2 regularization parameter λ ≥ 0
+	R      float64 // hypothesis-space radius (required when λ > 0)
+}
+
+// NewLogistic constructs a logistic loss. For λ > 0 the paper requires
+// a bounded hypothesis space; following §4.3 we use R = 1/λ when the
+// caller passes r <= 0.
+func NewLogistic(lambda, r float64) *Logistic {
+	if lambda < 0 {
+		panic(fmt.Sprintf("loss: negative lambda %v", lambda))
+	}
+	if lambda > 0 && r <= 0 {
+		r = 1 / lambda
+	}
+	return &Logistic{Lambda: lambda, R: r}
+}
+
+// Name implements Function.
+func (l *Logistic) Name() string {
+	if l.Lambda > 0 {
+		return fmt.Sprintf("logistic(λ=%g)", l.Lambda)
+	}
+	return "logistic"
+}
+
+// Eval implements Function.
+func (l *Logistic) Eval(w, x []float64, y float64) float64 {
+	z := -y * vec.Dot(w, x)
+	// log(1+e^z) computed stably for large |z|.
+	var base float64
+	if z > 30 {
+		base = z
+	} else {
+		base = math.Log1p(math.Exp(z))
+	}
+	if l.Lambda > 0 {
+		n := vec.Norm(w)
+		base += 0.5 * l.Lambda * n * n
+	}
+	return base
+}
+
+// Grad implements Function:
+// ∇ℓ = −y·σ(−y⟨w,x⟩)·x + λw, with σ the sigmoid.
+func (l *Logistic) Grad(dst, w, x []float64, y float64) {
+	if len(dst) != len(w) || len(w) != len(x) {
+		panic("loss: Grad length mismatch")
+	}
+	z := y * vec.Dot(w, x)
+	// σ(−z) = 1/(1+e^z), computed stably.
+	var s float64
+	if z > 30 {
+		s = math.Exp(-z)
+	} else {
+		s = 1 / (1 + math.Exp(z))
+	}
+	c := -y * s
+	for i := range dst {
+		dst[i] = c*x[i] + l.Lambda*w[i]
+	}
+}
+
+// Params implements Function, per the derivation in §2 of the paper.
+func (l *Logistic) Params() Params {
+	if l.Lambda == 0 {
+		return Params{L: 1, Beta: 1, Gamma: 0}
+	}
+	return Params{L: 1 + l.Lambda*l.R, Beta: 1 + l.Lambda, Gamma: l.Lambda}
+}
+
+// Huber is the smoothed hinge loss ("Huber SVM", Appendix B):
+//
+//	           0                      if z > 1+h
+//	ℓ_huber =  (1+h−z)²/(4h)          if |1−z| ≤ h     (z = y⟨w,x⟩)
+//	           1−z                    if z < 1−h
+//
+// plus (λ/2)‖w‖² when regularized.
+type Huber struct {
+	H      float64 // smoothing width h > 0 (paper uses h = 0.1)
+	Lambda float64
+	R      float64
+}
+
+// NewHuber constructs a Huber SVM loss with smoothing width h.
+func NewHuber(h, lambda, r float64) *Huber {
+	if h <= 0 {
+		panic(fmt.Sprintf("loss: Huber requires h>0, got %v", h))
+	}
+	if lambda < 0 {
+		panic(fmt.Sprintf("loss: negative lambda %v", lambda))
+	}
+	if lambda > 0 && r <= 0 {
+		r = 1 / lambda
+	}
+	return &Huber{H: h, Lambda: lambda, R: r}
+}
+
+// Name implements Function.
+func (l *Huber) Name() string {
+	if l.Lambda > 0 {
+		return fmt.Sprintf("huber(h=%g,λ=%g)", l.H, l.Lambda)
+	}
+	return fmt.Sprintf("huber(h=%g)", l.H)
+}
+
+// Eval implements Function.
+func (l *Huber) Eval(w, x []float64, y float64) float64 {
+	z := y * vec.Dot(w, x)
+	var base float64
+	switch {
+	case z > 1+l.H:
+		base = 0
+	case z < 1-l.H:
+		base = 1 - z
+	default:
+		d := 1 + l.H - z
+		base = d * d / (4 * l.H)
+	}
+	if l.Lambda > 0 {
+		n := vec.Norm(w)
+		base += 0.5 * l.Lambda * n * n
+	}
+	return base
+}
+
+// Grad implements Function. dℓ/dz is 0, −(1+h−z)/(2h) or −1 on the
+// three pieces; the chain rule multiplies by y·x.
+func (l *Huber) Grad(dst, w, x []float64, y float64) {
+	if len(dst) != len(w) || len(w) != len(x) {
+		panic("loss: Grad length mismatch")
+	}
+	z := y * vec.Dot(w, x)
+	var dz float64
+	switch {
+	case z > 1+l.H:
+		dz = 0
+	case z < 1-l.H:
+		dz = -1
+	default:
+		dz = -(1 + l.H - z) / (2 * l.H)
+	}
+	c := dz * y
+	for i := range dst {
+		dst[i] = c*x[i] + l.Lambda*w[i]
+	}
+}
+
+// Params implements Function. Appendix B: L ≤ 1 and β ≤ 1/(2h) for the
+// unregularized Huber loss under ‖x‖ ≤ 1.
+func (l *Huber) Params() Params {
+	if l.Lambda == 0 {
+		return Params{L: 1, Beta: 1 / (2 * l.H), Gamma: 0}
+	}
+	return Params{L: 1 + l.Lambda*l.R, Beta: 1/(2*l.H) + l.Lambda, Gamma: l.Lambda}
+}
+
+// LeastSquares is the squared loss ℓ = (⟨w,x⟩ − y)²/2 + (λ/2)‖w‖².
+// It is not part of the paper's evaluation but is a standard convex ERM
+// instance (ridge regression) that exercises the same machinery; the
+// constants below assume ‖x‖ ≤ 1, |y| ≤ 1 and ‖w‖ ≤ R.
+type LeastSquares struct {
+	Lambda float64
+	R      float64
+}
+
+// NewLeastSquares constructs a least-squares loss.
+func NewLeastSquares(lambda, r float64) *LeastSquares {
+	if lambda < 0 {
+		panic(fmt.Sprintf("loss: negative lambda %v", lambda))
+	}
+	if lambda > 0 && r <= 0 {
+		r = 1 / lambda
+	}
+	if r <= 0 {
+		// Even without regularization the Lipschitz constant of the
+		// squared loss depends on the radius; default to the unit ball.
+		r = 1
+	}
+	return &LeastSquares{Lambda: lambda, R: r}
+}
+
+// Name implements Function.
+func (l *LeastSquares) Name() string { return fmt.Sprintf("leastsquares(λ=%g)", l.Lambda) }
+
+// Eval implements Function.
+func (l *LeastSquares) Eval(w, x []float64, y float64) float64 {
+	e := vec.Dot(w, x) - y
+	base := 0.5 * e * e
+	if l.Lambda > 0 {
+		n := vec.Norm(w)
+		base += 0.5 * l.Lambda * n * n
+	}
+	return base
+}
+
+// Grad implements Function: ∇ℓ = (⟨w,x⟩−y)·x + λw.
+func (l *LeastSquares) Grad(dst, w, x []float64, y float64) {
+	if len(dst) != len(w) || len(w) != len(x) {
+		panic("loss: Grad length mismatch")
+	}
+	e := vec.Dot(w, x) - y
+	for i := range dst {
+		dst[i] = e*x[i] + l.Lambda*w[i]
+	}
+}
+
+// Params implements Function: |ℓ'(z)| = |z−y| ≤ R+1 on ‖w‖≤R, ‖x‖≤1,
+// |y|≤1; the Hessian is xxᵀ + λI with norm ≤ 1+λ.
+func (l *LeastSquares) Params() Params {
+	return Params{L: l.R + 1 + l.Lambda*l.R, Beta: 1 + l.Lambda, Gamma: l.Lambda}
+}

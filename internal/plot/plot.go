@@ -1,0 +1,128 @@
+// Package plot renders small ASCII line charts so the experiment
+// harness can output actual figure-shaped artifacts next to its tables
+// — accuracy-vs-ε curves per algorithm, runtime-vs-size series, and so
+// on — with no dependencies beyond the standard library.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve. Y must align with the Render call's xs;
+// NaN values mark missing points (e.g. BST14 in pure ε-DP scenarios).
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// markers distinguish series in draw order.
+var markers = []byte{'o', '+', 'x', '*', '#', '@'}
+
+// Render draws the series over the shared x values as a height-row
+// ASCII chart with a y-axis, x labels and a legend. The x spacing is
+// ordinal (one column block per x value), which suits the paper's
+// log-ish ε grids better than linear scaling.
+func Render(w io.Writer, title string, xs []float64, series []Series, height int) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("plot: no x values")
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	if height < 4 {
+		height = 8
+	}
+	for _, s := range series {
+		if len(s.Y) != len(xs) {
+			return fmt.Errorf("plot: series %q has %d points, want %d", s.Name, len(s.Y), len(xs))
+		}
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) {
+				continue
+			}
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("plot: all points are NaN")
+	}
+	if hi == lo {
+		hi = lo + 1 // flat series: give the band some height
+	}
+	// Pad the range slightly so extremes are not glued to the border.
+	pad := (hi - lo) * 0.05
+	lo -= pad
+	hi += pad
+
+	const colWidth = 6 // characters per x slot
+	width := len(xs) * colWidth
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(y float64) int {
+		frac := (y - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, y := range s.Y {
+			if math.IsNaN(y) {
+				continue
+			}
+			col := i*colWidth + colWidth/2
+			grid[rowOf(y)][col] = m
+		}
+	}
+
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	for r := 0; r < height; r++ {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.3f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%7.3f ", lo)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%7.3f ", (hi+lo)/2)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, grid[r])
+	}
+	fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width))
+	var xl strings.Builder
+	xl.WriteString("         ")
+	for _, x := range xs {
+		xl.WriteString(fmt.Sprintf("%-*s", colWidth, trim(fmt.Sprintf("%g", x), colWidth-1)))
+	}
+	fmt.Fprintln(w, xl.String())
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "         %s\n", strings.Join(legend, "  "))
+	return nil
+}
+
+func trim(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, "test chart", []float64{0.1, 0.5, 1},
+		[]Series{
+			{Name: "up", Y: []float64{0.1, 0.5, 0.9}},
+			{Name: "flat", Y: []float64{0.5, 0.5, 0.5}},
+		}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "o=up") || !strings.Contains(out, "+=flat") {
+		t.Errorf("legend missing: %q", out)
+	}
+	// The increasing series' markers appear on distinct rows: first 'o'
+	// below last 'o'.
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, l := range lines {
+		if idx := strings.IndexByte(l, 'o'); idx >= 0 {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 || firstRow == lastRow {
+		t.Errorf("increasing series should span rows: first=%d last=%d\n%s", firstRow, lastRow, out)
+	}
+	// Higher y values render on earlier (upper) lines, so the top 'o'
+	// is the 0.9 point.
+	if !strings.Contains(out, "0.1") || !strings.Contains(out, "0.5") {
+		t.Error("x labels missing")
+	}
+}
+
+func TestRenderNaNSkipped(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, "", []float64{1, 2},
+		[]Series{{Name: "partial", Y: []float64{math.NaN(), 0.5}}}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count markers in the grid area only (the legend also contains the
+	// marker character).
+	grid := strings.Split(buf.String(), "+---")[0]
+	if n := strings.Count(grid, "o"); n != 1 {
+		t.Errorf("expected exactly 1 marker in the grid, found %d", n)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, "", nil, []Series{{Name: "s", Y: nil}}, 6); err == nil {
+		t.Error("no x values accepted")
+	}
+	if err := Render(&buf, "", []float64{1}, nil, 6); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := Render(&buf, "", []float64{1, 2}, []Series{{Name: "s", Y: []float64{1}}}, 6); err == nil {
+		t.Error("misaligned series accepted")
+	}
+	if err := Render(&buf, "", []float64{1}, []Series{{Name: "s", Y: []float64{math.NaN()}}}, 6); err == nil {
+		t.Error("all-NaN accepted")
+	}
+}
+
+func TestRenderFlatSeriesDoesNotDivideByZero(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, "", []float64{1, 2},
+		[]Series{{Name: "c", Y: []float64{0.7, 0.7}}}, 6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "o") {
+		t.Error("flat series not drawn")
+	}
+}
+
+func TestRenderTinyHeightClamped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, "", []float64{1},
+		[]Series{{Name: "s", Y: []float64{1}}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines < 8 {
+		t.Errorf("height clamp failed: %d lines", lines)
+	}
+}
+
+func TestManySeriesMarkersCycle(t *testing.T) {
+	var buf bytes.Buffer
+	series := make([]Series, 7)
+	for i := range series {
+		series[i] = Series{Name: string(rune('a' + i)), Y: []float64{float64(i)}}
+	}
+	if err := Render(&buf, "", []float64{1}, series, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Marker cycle wraps: series 6 reuses marker 0.
+	if !strings.Contains(buf.String(), "o=a") || !strings.Contains(buf.String(), "o=g") {
+		t.Errorf("marker cycling broken: %q", buf.String())
+	}
+}

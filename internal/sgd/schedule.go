@@ -1,0 +1,124 @@
+package sgd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule maps the 1-based update counter t to the learning rate η_t.
+// The concrete schedules below are exactly the rows of Table 4 of the
+// paper plus the two extra convex schedules of Corollaries 2 and 3.
+type Schedule interface {
+	Name() string
+	Eta(t int) float64
+}
+
+type constant struct{ eta float64 }
+
+// Constant returns the fixed-step schedule η_t = eta — the convex
+// setting of Algorithm 1 (the paper uses eta = 1/√m, or R/(L√m) in the
+// convergence analysis of Lemma 12).
+func Constant(eta float64) Schedule {
+	if eta <= 0 {
+		panic(fmt.Sprintf("sgd: Constant step must be positive, got %v", eta))
+	}
+	return constant{eta}
+}
+
+func (c constant) Name() string      { return fmt.Sprintf("constant(%g)", c.eta) }
+func (c constant) Eta(t int) float64 { return c.eta }
+
+type invT struct{ gamma float64 }
+
+// InvT returns η_t = 1/(γt) — the noiseless strongly convex schedule of
+// Table 4 and BST14's Algorithm 5 step.
+func InvT(gamma float64) Schedule {
+	if gamma <= 0 {
+		panic(fmt.Sprintf("sgd: InvT requires gamma>0, got %v", gamma))
+	}
+	return invT{gamma}
+}
+
+func (s invT) Name() string      { return fmt.Sprintf("1/(γt), γ=%g", s.gamma) }
+func (s invT) Eta(t int) float64 { return 1 / (s.gamma * float64(t)) }
+
+type stronglyConvexPaper struct{ beta, gamma float64 }
+
+// StronglyConvexPaper returns η_t = min(1/β, 1/(γt)) — the schedule of
+// Algorithm 2, whose cap at 1/β is what makes every gradient update
+// (1−η_tγ)-expansive (Lemma 2) and yields the 2L/(γm) sensitivity.
+func StronglyConvexPaper(beta, gamma float64) Schedule {
+	if beta <= 0 || gamma <= 0 {
+		panic(fmt.Sprintf("sgd: StronglyConvexPaper requires beta,gamma>0, got %v, %v", beta, gamma))
+	}
+	return stronglyConvexPaper{beta, gamma}
+}
+
+func (s stronglyConvexPaper) Name() string {
+	return fmt.Sprintf("min(1/β,1/(γt)), β=%g γ=%g", s.beta, s.gamma)
+}
+
+func (s stronglyConvexPaper) Eta(t int) float64 {
+	return math.Min(1/s.beta, 1/(s.gamma*float64(t)))
+}
+
+type invSqrtT struct{ c float64 }
+
+// InvSqrtT returns η_t = c/√t — SCS13's schedule (Table 4 uses c = 1).
+func InvSqrtT(c float64) Schedule {
+	if c <= 0 {
+		panic(fmt.Sprintf("sgd: InvSqrtT requires c>0, got %v", c))
+	}
+	return invSqrtT{c}
+}
+
+func (s invSqrtT) Name() string      { return fmt.Sprintf("%g/√t", s.c) }
+func (s invSqrtT) Eta(t int) float64 { return s.c / math.Sqrt(float64(t)) }
+
+type decreasingConvex struct {
+	beta float64
+	mc   float64 // m^c precomputed
+	m    int
+	c    float64
+}
+
+// DecreasingConvex returns η_t = 2/(β(t+m^c)) for c ∈ [0,1) — the
+// decreasing convex schedule of Corollary 2.
+func DecreasingConvex(beta float64, m int, c float64) Schedule {
+	if beta <= 0 || m < 1 || c < 0 || c >= 1 {
+		panic(fmt.Sprintf("sgd: DecreasingConvex parameters out of range (β=%v m=%d c=%v)", beta, m, c))
+	}
+	return decreasingConvex{beta: beta, mc: math.Pow(float64(m), c), m: m, c: c}
+}
+
+func (s decreasingConvex) Name() string {
+	return fmt.Sprintf("2/(β(t+m^%g)), β=%g m=%d", s.c, s.beta, s.m)
+}
+
+func (s decreasingConvex) Eta(t int) float64 {
+	return 2 / (s.beta * (float64(t) + s.mc))
+}
+
+type sqrtConvex struct {
+	beta float64
+	mc   float64
+	m    int
+	c    float64
+}
+
+// SqrtConvex returns η_t = 2/(β(√t+m^c)) for c ∈ [0,1) — the
+// square-root convex schedule of Corollary 3.
+func SqrtConvex(beta float64, m int, c float64) Schedule {
+	if beta <= 0 || m < 1 || c < 0 || c >= 1 {
+		panic(fmt.Sprintf("sgd: SqrtConvex parameters out of range (β=%v m=%d c=%v)", beta, m, c))
+	}
+	return sqrtConvex{beta: beta, mc: math.Pow(float64(m), c), m: m, c: c}
+}
+
+func (s sqrtConvex) Name() string {
+	return fmt.Sprintf("2/(β(√t+m^%g)), β=%g m=%d", s.c, s.beta, s.m)
+}
+
+func (s sqrtConvex) Eta(t int) float64 {
+	return 2 / (s.beta * (math.Sqrt(float64(t)) + s.mc))
+}

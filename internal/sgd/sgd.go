@@ -1,0 +1,300 @@
+// Package sgd implements the permutation-based stochastic gradient
+// descent (PSGD) engine of §2 of the paper: sample one random
+// permutation of the training set (optionally a fresh one per pass),
+// cycle through it k times applying the update rule
+//
+//	w_{t+1} = Π_C( w_t − η_t · (1/b) Σ_{i∈B_t} ∇ℓ_i(w_t) )
+//
+// with mini-batches B_t of size b and projection onto the radius-R ball
+// (equation (7)). The engine is deliberately a black box: the private
+// algorithms in internal/core call Run and perturb only the returned
+// model, exactly as the paper's bolt-on approach requires.
+//
+// The one deliberate impurity is Config.GradNoise, a hook invoked on
+// every averaged mini-batch gradient before the update is applied. It
+// exists solely so the white-box baselines (SCS13, BST14) can be
+// expressed against the same engine; it corresponds to the "deep code
+// changes" to Bismarck's transition function shown in Figure 1(C) of
+// the paper, and internal/core never sets it.
+package sgd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"boltondp/internal/loss"
+	"boltondp/internal/vec"
+)
+
+// Samples is the minimal read-only view of a training set the engine
+// needs. Implementations include data.Dataset and bismarck.Table.
+// At may return an internal buffer that is only valid until the next
+// call; the engine never retains the returned slice.
+type Samples interface {
+	// Len returns the number of examples m.
+	Len() int
+	// Dim returns the feature dimension d.
+	Dim() int
+	// At returns the i-th example. The label is ±1 for classification
+	// losses.
+	At(i int) (x []float64, y float64)
+}
+
+// SliceSamples adapts parallel slices to the Samples interface.
+type SliceSamples struct {
+	X [][]float64
+	Y []float64
+}
+
+// Len implements Samples.
+func (s *SliceSamples) Len() int { return len(s.X) }
+
+// Dim implements Samples.
+func (s *SliceSamples) Dim() int {
+	if len(s.X) == 0 {
+		return 0
+	}
+	return len(s.X[0])
+}
+
+// At implements Samples.
+func (s *SliceSamples) At(i int) ([]float64, float64) { return s.X[i], s.Y[i] }
+
+// Config describes one PSGD run.
+type Config struct {
+	Loss   loss.Function
+	Step   Schedule
+	Passes int // k ≥ 1
+	Batch  int // b ≥ 1; 0 means 1
+
+	// Radius is the projection radius R of the constrained update rule
+	// (7). Non-positive means unconstrained.
+	Radius float64
+
+	// Average, when set, additionally computes the uniform average of
+	// all iterates w_1..w_T (the paper's model-averaging extension,
+	// Lemma 10, and the form its convergence results are stated for).
+	Average bool
+
+	// AverageTail, when set, instead averages only the last ⌈ln T⌉
+	// iterates — the second averaging scheme Lemma 10 mentions ("the
+	// average of the last log T iterates"). Sensitivity is unchanged:
+	// the δ_t's are non-decreasing, so any convex combination of
+	// iterates is bounded by δ_T. Incompatible with Tol (T must be
+	// known in advance) and with Average.
+	AverageTail bool
+
+	// FreshPerm resamples the permutation at the start of every pass
+	// (§3.2.3 "Fresh Permutation at Each Pass"). The sensitivity
+	// analysis is unchanged.
+	FreshPerm bool
+
+	// Perm, when non-nil, fixes the first pass's permutation instead of
+	// sampling one. It must be a permutation of [0, m). Used by the
+	// sensitivity tests, which must run the same randomness r on
+	// neighboring datasets (Lemma 5's "randomness one at a time").
+	Perm []int
+
+	// Rand is the randomness source for permutations. Required unless
+	// Perm is given and FreshPerm is false.
+	Rand *rand.Rand
+
+	// GradNoise, if non-nil, is called with the 1-based update counter
+	// and the averaged mini-batch gradient, which it may modify in
+	// place (white-box hook for SCS13/BST14 — see the package comment).
+	GradNoise func(t int, grad []float64)
+
+	// W0 is the starting point; nil means the origin.
+	W0 []float64
+
+	// Tol, when positive, enables the early-stopping strategy of §4.3:
+	// after each pass the training risk is evaluated, and the run stops
+	// once the per-pass decrease falls below Tol (or Passes is
+	// reached). The paper notes this "oblivious k" strategy is only
+	// sound for the strongly convex private algorithm, whose noise does
+	// not depend on k; Run itself is noise-free so it simply honors it.
+	Tol float64
+}
+
+func (c *Config) validate(m int) error {
+	if c.Loss == nil {
+		return errors.New("sgd: Config.Loss is required")
+	}
+	if c.Step == nil {
+		return errors.New("sgd: Config.Step is required")
+	}
+	if c.Passes < 1 {
+		return fmt.Errorf("sgd: Passes must be >= 1, got %d", c.Passes)
+	}
+	if c.Batch < 0 {
+		return fmt.Errorf("sgd: Batch must be >= 0, got %d", c.Batch)
+	}
+	if m == 0 {
+		return errors.New("sgd: empty training set")
+	}
+	if c.Perm != nil && len(c.Perm) != m {
+		return fmt.Errorf("sgd: Perm has length %d, want %d", len(c.Perm), m)
+	}
+	if c.Rand == nil && (c.Perm == nil || c.FreshPerm) {
+		return errors.New("sgd: Rand is required when permutations must be sampled")
+	}
+	if c.AverageTail && c.Average {
+		return errors.New("sgd: Average and AverageTail are mutually exclusive")
+	}
+	if c.AverageTail && c.Tol > 0 {
+		return errors.New("sgd: AverageTail needs the total iteration count in advance; incompatible with Tol")
+	}
+	return nil
+}
+
+// Result is the outcome of a PSGD run.
+type Result struct {
+	// W is the final iterate w_T.
+	W []float64
+	// WAvg is the uniform iterate average (nil unless Config.Average).
+	WAvg []float64
+	// Updates is the number of gradient updates performed (batches).
+	Updates int
+	// Passes is the number of passes actually executed (may be fewer
+	// than Config.Passes when Tol-based early stopping triggers).
+	Passes int
+}
+
+// Model returns the model the run recommends: the iterate average when
+// averaging was enabled, the last iterate otherwise.
+func (r *Result) Model() []float64 {
+	if r.WAvg != nil {
+		return r.WAvg
+	}
+	return r.W
+}
+
+// Run executes permutation-based SGD over s and returns the resulting
+// model(s). It is deterministic given Config.Rand's state.
+func Run(s Samples, cfg Config) (*Result, error) {
+	m := s.Len()
+	if err := cfg.validate(m); err != nil {
+		return nil, err
+	}
+	d := s.Dim()
+	b := cfg.Batch
+	if b == 0 {
+		b = 1
+	}
+	if b > m {
+		b = m
+	}
+
+	w := make([]float64, d)
+	if cfg.W0 != nil {
+		if len(cfg.W0) != d {
+			return nil, fmt.Errorf("sgd: W0 has dim %d, want %d", len(cfg.W0), d)
+		}
+		copy(w, cfg.W0)
+	}
+
+	perm := cfg.Perm
+	if perm == nil {
+		perm = cfg.Rand.Perm(m)
+	}
+
+	grad := make([]float64, d)
+	gbuf := make([]float64, d)
+	var wsum []float64
+	if cfg.Average || cfg.AverageTail {
+		wsum = make([]float64, d)
+	}
+	// Batches per pass: when b does not divide m, the remainder is
+	// merged into the final batch (size in [b, 2b)) rather than
+	// processed as a short batch. A short trailing batch of size
+	// s = m mod b would contribute 2ηL/s > 2ηL/b to the sensitivity
+	// and silently break every /b bound — the paper's §3.2.3 analysis
+	// assumes b divides m ("for simplicity let us assume that b
+	// divides m"); merging preserves that assumption's guarantee for
+	// arbitrary m.
+	updatesPerPass := m / b
+	if updatesPerPass < 1 {
+		updatesPerPass = 1
+	}
+	// Tail averaging covers the last ⌈ln T⌉ of the T planned updates.
+	total := cfg.Passes * updatesPerPass
+	tailFrom := 0
+	tailCount := 0
+	if cfg.AverageTail {
+		n := int(math.Ceil(math.Log(float64(total))))
+		if n < 1 {
+			n = 1
+		}
+		tailFrom = total - n + 1
+	}
+
+	t := 0
+	passes := 0
+	prevRisk := math.Inf(1)
+	for pass := 0; pass < cfg.Passes; pass++ {
+		if cfg.FreshPerm && pass > 0 {
+			perm = cfg.Rand.Perm(m)
+		}
+		for u := 0; u < updatesPerPass; u++ {
+			start := u * b
+			end := start + b
+			if u == updatesPerPass-1 {
+				end = m // merge the remainder into the final batch
+			}
+			vec.Zero(grad)
+			for i := start; i < end; i++ {
+				x, y := s.At(perm[i])
+				cfg.Loss.Grad(gbuf, w, x, y)
+				vec.Axpy(grad, 1, gbuf)
+			}
+			vec.Scale(grad, 1/float64(end-start))
+			t++
+			if cfg.GradNoise != nil {
+				cfg.GradNoise(t, grad)
+			}
+			vec.Axpy(w, -cfg.Step.Eta(t), grad)
+			vec.ProjectBall(w, cfg.Radius)
+			if cfg.Average {
+				vec.Axpy(wsum, 1, w)
+			} else if cfg.AverageTail && t >= tailFrom {
+				vec.Axpy(wsum, 1, w)
+				tailCount++
+			}
+		}
+		passes++
+		if cfg.Tol > 0 {
+			risk := EmpiricalRisk(s, cfg.Loss, w)
+			if prevRisk-risk < cfg.Tol {
+				break
+			}
+			prevRisk = risk
+		}
+	}
+
+	res := &Result{W: w, Updates: t, Passes: passes}
+	if cfg.Average {
+		vec.Scale(wsum, 1/float64(t))
+		res.WAvg = wsum
+	} else if cfg.AverageTail && tailCount > 0 {
+		vec.Scale(wsum, 1/float64(tailCount))
+		res.WAvg = wsum
+	}
+	return res, nil
+}
+
+// EmpiricalRisk returns L_S(w) = (1/m) Σ ℓ(w; z_i), the quantity whose
+// excess the paper's convergence theorems bound.
+func EmpiricalRisk(s Samples, f loss.Function, w []float64) float64 {
+	m := s.Len()
+	if m == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < m; i++ {
+		x, y := s.At(i)
+		sum += f.Eval(w, x, y)
+	}
+	return sum / float64(m)
+}

@@ -1,0 +1,90 @@
+package sgd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"boltondp/internal/loss"
+	"boltondp/internal/vec"
+)
+
+// SVRG implements Stochastic Variance Reduced Gradient (Johnson &
+// Zhang, NIPS 2013) — one of the "more modern SGD variants" §3.2 singles
+// out as non-adaptive (Definition 7): its random index choices never
+// depend on data values, so Lemma 5's randomness-one-at-a-time argument
+// applies to it just as it does to PSGD.
+//
+// The paper does not derive an L2-sensitivity bound for SVRG (its
+// growth-recursion argument covers plain gradient steps, not the
+// variance-corrected update, whose anchor gradient μ touches every
+// example), so this implementation is offered as a noiseless
+// optimization substrate and a starting point for the paper's §6
+// future-work direction. RunSVRG therefore returns no privacy
+// calibration; perturbing its output requires new analysis.
+type SVRGConfig struct {
+	Loss loss.Function
+	// Eta is the constant inner-loop step size (SVRG theory wants
+	// η < 1/(4β) for convergence on smooth strongly convex losses).
+	Eta float64
+	// Epochs is the number of outer iterations (each recomputes the
+	// full anchor gradient and runs one permutation pass inside).
+	Epochs int
+	// Radius projects iterates onto the L2 ball (≤ 0: unconstrained).
+	Radius float64
+	// Rand drives the inner-loop permutations.
+	Rand *rand.Rand
+}
+
+// RunSVRG executes SVRG over s and returns the final anchor model.
+func RunSVRG(s Samples, cfg SVRGConfig) (*Result, error) {
+	m := s.Len()
+	if m == 0 {
+		return nil, errors.New("sgd: empty training set")
+	}
+	if cfg.Loss == nil {
+		return nil, errors.New("sgd: SVRGConfig.Loss is required")
+	}
+	if cfg.Eta <= 0 {
+		return nil, fmt.Errorf("sgd: SVRG step size %v", cfg.Eta)
+	}
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("sgd: SVRG epochs %d", cfg.Epochs)
+	}
+	if cfg.Rand == nil {
+		return nil, errors.New("sgd: SVRGConfig.Rand is required")
+	}
+	d := s.Dim()
+
+	anchor := make([]float64, d) // w̃, the outer iterate
+	w := make([]float64, d)
+	mu := make([]float64, d) // full gradient at the anchor
+	g := make([]float64, d)
+	ga := make([]float64, d)
+	updates := 0
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// μ = ∇L_S(w̃): one full pass.
+		vec.Zero(mu)
+		for i := 0; i < m; i++ {
+			x, y := s.At(i)
+			cfg.Loss.Grad(g, anchor, x, y)
+			vec.Axpy(mu, 1/float64(m), g)
+		}
+		// Inner loop: one permutation pass of corrected updates
+		// w ← Π( w − η(∇ℓ_i(w) − ∇ℓ_i(w̃) + μ) ).
+		copy(w, anchor)
+		for _, i := range cfg.Rand.Perm(m) {
+			x, y := s.At(i)
+			cfg.Loss.Grad(g, w, x, y)
+			cfg.Loss.Grad(ga, anchor, x, y)
+			for j := 0; j < d; j++ {
+				w[j] -= cfg.Eta * (g[j] - ga[j] + mu[j])
+			}
+			vec.ProjectBall(w, cfg.Radius)
+			updates++
+		}
+		copy(anchor, w)
+	}
+	return &Result{W: anchor, Updates: updates, Passes: cfg.Epochs}, nil
+}
