@@ -32,6 +32,7 @@ import (
 	"boltondp/internal/core"
 	"boltondp/internal/data"
 	"boltondp/internal/dp"
+	"boltondp/internal/engine"
 	"boltondp/internal/eval"
 	"boltondp/internal/loss"
 	"boltondp/internal/projection"
@@ -73,6 +74,14 @@ type (
 	// Projector is a Gaussian random projection for high-dimensional
 	// data.
 	Projector = projection.Projector
+	// ExecutionStrategy selects how training runs execute (see
+	// DESIGN.md §2): StrategySequential, StrategySharded or
+	// StrategyStreaming, set through TrainOptions.Strategy/Workers.
+	ExecutionStrategy = engine.Strategy
+	// Stream is a lazily generated dataset for the streaming strategy:
+	// rows are derived from (seed, index) on access and never
+	// materialized.
+	Stream = data.Stream
 	// Table is the Bismarck-style page-organized table.
 	Table = bismarck.Table
 	// UDATrainConfig configures in-RDBMS training via the UDA
@@ -93,10 +102,45 @@ func NewLogisticLoss(lambda float64) LossFunction { return loss.NewLogistic(lamb
 // smoothing width h (the paper uses h = 0.1).
 func NewHuberSVMLoss(h, lambda float64) LossFunction { return loss.NewHuber(h, lambda, 0) }
 
+// Execution strategies for TrainOptions.Strategy, re-exported from the
+// execution engine (internal/engine).
+const (
+	// StrategySequential is the paper's Algorithms 1–2 verbatim: one
+	// goroutine, one permutation (the default).
+	StrategySequential = engine.Sequential
+	// StrategySharded trains TrainOptions.Workers disjoint shards in
+	// parallel with per-epoch model averaging — the paper's multicore
+	// bolt-on scheme. Noise is calibrated for the averaged model; for
+	// strongly convex losses the bound equals the sequential one, so
+	// parallelism is privacy-free.
+	StrategySharded = engine.Sharded
+	// StrategyStreaming trains in a single in-order pass with no
+	// materialized permutation — the online scenario (pair it with
+	// NewStream for never-materialized training data).
+	StrategyStreaming = engine.Streaming
+)
+
+// ParseExecutionStrategy maps a CLI-style name
+// (sequential|sharded|streaming) to an ExecutionStrategy.
+func ParseExecutionStrategy(name string) (ExecutionStrategy, error) {
+	return engine.ParseStrategy(name)
+}
+
+// NewStream builds a deterministic two-class streaming dataset of m
+// rows in d dimensions: row i is regenerated from (seed, i) on every
+// access, so StrategyStreaming can train over it in O(d) memory.
+// Spread and Flip follow the synthetic-generator semantics (cluster
+// standard deviation and label-noise probability).
+func NewStream(seed int64, m, d int, spread, flip float64) *Stream {
+	return data.NewStream(seed, m, d, spread, flip)
+}
+
 // Training.
 
 // Train runs the bolt-on private PSGD appropriate for the loss:
 // Algorithm 2 when the loss is strongly convex, Algorithm 1 otherwise.
+// The execution strategy (sequential, sharded across workers, or
+// streaming) is selected by TrainOptions.Strategy and Workers.
 func Train(s Samples, f LossFunction, opt TrainOptions) (*TrainResult, error) {
 	return core.Train(s, f, opt)
 }
@@ -228,10 +272,16 @@ type (
 )
 
 // ParallelTrainInRDBMS partitions the table across Workers goroutines,
-// trains an independent PSGD model per partition, merges by averaging
-// and (for UDAOutputPerturb) perturbs once with the parallel
-// sensitivity Δ_part(m/P)/P — which for strongly convex losses equals
-// the sequential bound, making parallelism privacy-free.
+// trains a PSGD model per partition with per-epoch model averaging
+// (the execution engine's Sharded strategy), and (for UDAOutputPerturb)
+// perturbs once with the parallel sensitivity Δ_part(m/P)/P — which for
+// strongly convex losses equals the sequential bound, making
+// parallelism privacy-free.
+//
+// Deprecated: kept as a thin wrapper for the in-RDBMS deployment
+// story. New code should call Train with TrainOptions{Strategy:
+// StrategySharded, Workers: P}, which accepts a *Table (or any
+// Samples) directly; see examples/parallel.
 func ParallelTrainInRDBMS(t *Table, f LossFunction, cfg ParallelTrainConfig) (*ParallelTrainResult, error) {
 	return bismarck.ParallelTrainUDA(t, f, cfg)
 }

@@ -29,6 +29,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		quick   = flag.Bool("quick", false, "trim grids for a fast smoke run")
 		repeats = flag.Int("repeats", 1, "average accuracy cells over this many runs")
+		workers = flag.Int("workers", 1, "run ours/noiseless training sharded across this many engine workers")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Out: os.Stdout, Quick: *quick, Repeats: *repeats}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Out: os.Stdout, Quick: *quick, Repeats: *repeats, Workers: *workers}
 	ids := []string{*run}
 	if *run == "all" {
 		ids = experiments.IDs()

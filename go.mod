@@ -1,0 +1,3 @@
+module boltondp
+
+go 1.22

@@ -5,12 +5,19 @@
 // passes, reproduced verbatim from Algorithms 4 and 5.
 //
 // SCS13 and BST14 are "white box": they must inject noise into every
-// mini-batch gradient update. SCS13 is expressed through the engine's
+// mini-batch gradient update. SCS13 is expressed through the PSGD
 // GradNoise hook — the code-level analogue of the deep changes to
 // Bismarck's transition function that Figure 1(C) illustrates. BST14
 // cannot reuse the PSGD engine at all because it samples examples
 // uniformly with replacement rather than by permutation, so it carries
 // its own update loop.
+//
+// All permutation-based runs here execute through internal/engine:
+// Noiseless honors Options.Strategy/Workers (so it remains the
+// like-for-like baseline for sharded and streaming private runs),
+// while the white-box algorithms are pinned to the Sequential strategy
+// — their per-batch noise has no sharded or streaming sensitivity
+// analysis.
 package baselines
 
 import (
@@ -20,6 +27,7 @@ import (
 	"math/rand"
 
 	"boltondp/internal/dp"
+	"boltondp/internal/engine"
 	"boltondp/internal/loss"
 	"boltondp/internal/rng"
 	"boltondp/internal/sgd"
@@ -39,6 +47,14 @@ type Options struct {
 	// size is 2R/(G√t)); for the others non-positive means
 	// unconstrained.
 	Radius float64
+	// Strategy selects the execution-engine strategy for Noiseless
+	// (default Sequential). The white-box algorithms reject anything
+	// but Sequential: their per-batch noise has no sharded or streaming
+	// analysis.
+	Strategy engine.Strategy
+	// Workers is the shard count for Noiseless under the Sharded
+	// strategy (default 1).
+	Workers int
 	// Rand is the randomness source (permutations, sampling, noise).
 	Rand *rand.Rand
 }
@@ -67,7 +83,10 @@ type Result struct {
 }
 
 // Noiseless runs plain PSGD with the noiseless step sizes of Table 4:
-// constant 1/√m for convex losses, 1/(γt) for strongly convex ones.
+// constant 1/√m for convex losses, 1/(γt) for strongly convex ones. It
+// honors Options.Strategy/Workers, making it the like-for-like speed
+// and accuracy baseline for the engine's sharded and streaming private
+// runs.
 func Noiseless(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 	o := opt.withDefaults()
 	if o.Rand == nil {
@@ -77,16 +96,30 @@ func Noiseless(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 	if m == 0 {
 		return nil, errors.New("baselines: empty training set")
 	}
+	if o.Workers > 1 && o.Strategy != engine.Sharded {
+		return nil, fmt.Errorf("baselines: Workers=%d requires the Sharded strategy, got %v", o.Workers, o.Strategy)
+	}
 	p := f.Params()
+	n := m // schedule size: the smallest shard for sharded runs
+	if o.Strategy == engine.Sharded && o.Workers > 1 {
+		var err error
+		if n, err = engine.ShardSize(m, o.Workers); err != nil {
+			return nil, err
+		}
+	}
 	var step sgd.Schedule
 	if p.StronglyConvex() {
 		step = sgd.InvT(p.Gamma)
 	} else {
-		step = sgd.Constant(1 / math.Sqrt(float64(m)))
+		step = sgd.Constant(1 / math.Sqrt(float64(n)))
 	}
-	res, err := sgd.Run(s, sgd.Config{
-		Loss: f, Step: step, Passes: o.Passes, Batch: o.Batch,
-		Radius: o.Radius, Rand: o.Rand,
+	res, err := engine.Run(s, engine.Config{
+		Strategy: o.Strategy,
+		Workers:  o.Workers,
+		SGD: sgd.Config{
+			Loss: f, Step: step, Passes: o.Passes, Batch: o.Batch,
+			Radius: o.Radius, Rand: o.Rand,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -103,6 +136,9 @@ func Noiseless(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 // sums the k passes. The step size is 1/√t (Table 4).
 func SCS13(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 	o := opt.withDefaults()
+	if o.Strategy != engine.Sequential || o.Workers > 1 {
+		return nil, errors.New("baselines: SCS13 injects per-batch noise and is sequential-only; Strategy/Workers do not apply")
+	}
 	if err := o.Budget.Validate(); err != nil {
 		return nil, err
 	}
@@ -130,9 +166,12 @@ func SCS13(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 		vec.Axpy(grad, 1, noise)
 	}
 
-	res, err := sgd.Run(s, sgd.Config{
-		Loss: f, Step: sgd.InvSqrtT(1), Passes: o.Passes, Batch: o.Batch,
-		Radius: o.Radius, Rand: o.Rand, GradNoise: hook,
+	res, err := engine.Run(s, engine.Config{
+		Strategy: engine.Sequential, // white-box noise is sequential-only
+		SGD: sgd.Config{
+			Loss: f, Step: sgd.InvSqrtT(1), Passes: o.Passes, Batch: o.Batch,
+			Radius: o.Radius, Rand: o.Rand, GradNoise: hook,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -186,6 +225,9 @@ func BST14(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 
 func bst14(s sgd.Samples, f loss.Function, opt Options, stronglyConvex bool) (*Result, error) {
 	o := opt.withDefaults()
+	if o.Strategy != engine.Sequential || o.Workers > 1 {
+		return nil, errors.New("baselines: BST14 injects per-iteration noise and is sequential-only; Strategy/Workers do not apply")
+	}
 	if err := o.Budget.Validate(); err != nil {
 		return nil, err
 	}

@@ -5,50 +5,48 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"boltondp/internal/dp"
+	"boltondp/internal/engine"
 	"boltondp/internal/loss"
 	"boltondp/internal/sgd"
-	"boltondp/internal/vec"
 )
 
 // Shared-nothing parallel SGD, the way Bismarck parallelizes UDAs (and
 // the paper's footnote 2 extends to MapReduce): the shuffled table is
-// range-partitioned into P segments, each worker runs an independent
-// PSGD aggregate over its segment, and the per-partition models are
-// merged by averaging — PostgreSQL's combine-function contract.
+// range-partitioned into P segments, each worker runs a PSGD aggregate
+// over its segment, and the per-partition models are merged by
+// averaging — PostgreSQL's combine-function contract.
+//
+// The worker pool itself lives in internal/engine (Strategy Sharded):
+// per epoch every worker advances one pass over its segment from the
+// shared model and the merge averages the partition models. This file
+// is only the table-facing compatibility wrapper plus the Sharder glue
+// that gives each worker its own decode scratch.
 //
 // Privacy composes cleanly with the bolt-on analysis. A single
 // differing example lives in exactly one partition of size ~m/P, so
-// only that partition's model moves, by at most the single-partition
-// sensitivity Δ_part; averaging divides the difference by P:
+// per epoch only that partition's model is additionally displaced, and
+// averaging divides the difference by P:
 //
 //	Δ_parallel = Δ_part(m/P) / P
 //
 // For the strongly convex bound Δ_part = 2L/(γ(m/P)) this gives
 // 2L/(γm) — identical to the sequential bound, so parallelism is free
 // privacy-wise. For the convex constant-step bound it gives 2kLη/(bP),
-// strictly better than sequential. Both are computed below and verified
-// empirically in the tests.
+// strictly better than sequential. See dp.SensitivityShardedStronglyConvex
+// for the telescoping argument and internal/dp's tests for the
+// empirical verification.
 
 // Partitions splits the table into p contiguous row ranges of nearly
-// equal size, returning per-partition row bounds [lo, hi).
+// equal size, returning per-partition row bounds [lo, hi). The policy
+// is engine.ShardBounds', so UDA partitions and engine shards always
+// agree.
 func (t *Table) Partitions(p int) ([][2]int, error) {
 	if p < 1 || p > t.n {
 		return nil, fmt.Errorf("bismarck: cannot split %d rows into %d partitions", t.n, p)
 	}
-	out := make([][2]int, p)
-	size := t.n / p
-	for i := 0; i < p; i++ {
-		lo := i * size
-		hi := lo + size
-		if i == p-1 {
-			hi = t.n
-		}
-		out[i] = [2]int{lo, hi}
-	}
-	return out, nil
+	return engine.ShardBounds(t.n, p), nil
 }
 
 // segment is a read-only row-range view of a table implementing
@@ -74,7 +72,33 @@ func (s *segment) At(i int) ([]float64, float64) {
 	return s.scratch, y
 }
 
+// Shard keeps segments shardable in turn (a segment's decode scratch is
+// as concurrency-unsafe as the table's): sub-shards translate to table
+// coordinates, so sharded runs over a row-range view stay race-free.
+func (s *segment) Shard(lo, hi int) sgd.Samples {
+	return s.t.Shard(s.lo+lo, s.lo+hi)
+}
+
+// Shard implements engine.Sharder: an independent read-only view of
+// rows [lo, hi) with its own decode scratch, safe to scan concurrently
+// with other shards of the same table. Like At, it finishes any pending
+// load first (the partially filled tail page must be appended before
+// segments read page bytes concurrently) and panics if that write
+// fails, mirroring the segment's own At contract.
+func (t *Table) Shard(lo, hi int) sgd.Samples {
+	if t.tail != nil {
+		if err := t.flushTail(); err != nil {
+			panic(err)
+		}
+	}
+	return &segment{t: t, lo: lo, hi: hi, scratch: make([]float64, t.d)}
+}
+
 // ParallelTrainConfig configures a shared-nothing parallel run.
+//
+// Deprecated: new code should call engine.Run with Strategy Sharded, or
+// core.Train with Options.Workers, which accept any sgd.Samples
+// (including *Table) and calibrate the noise themselves.
 type ParallelTrainConfig struct {
 	Workers   int       // P ≥ 1
 	Algorithm Algorithm // Noiseless or OutputPerturb only
@@ -87,19 +111,28 @@ type ParallelTrainConfig struct {
 }
 
 // ParallelTrainResult reports a parallel run.
+//
+// Deprecated: see ParallelTrainConfig.
 type ParallelTrainResult struct {
 	W           []float64
-	PartModels  [][]float64 // pre-merge per-partition models (non-private!)
+	PartModels  [][]float64 // final pre-merge per-partition models (non-private!)
 	Sensitivity float64
 	Updates     int
 }
 
-// ParallelTrainUDA trains with P independent per-partition PSGD
-// aggregates merged by model averaging, then (for OutputPerturb)
-// perturbs the merged model once with the parallel sensitivity derived
-// above. The white-box algorithms are rejected: their per-batch noise
-// would have to be re-analyzed under partitioning, which neither the
-// paper nor this reproduction attempts.
+// ParallelTrainUDA trains with P per-partition PSGD aggregates merged
+// by per-epoch model averaging — the engine's Sharded strategy run over
+// the table's segments — then (for OutputPerturb) perturbs the merged
+// model once with the parallel sensitivity derived above. The white-box
+// algorithms are rejected: their per-batch noise would have to be
+// re-analyzed under partitioning, which neither the paper nor this
+// reproduction attempts.
+//
+// Deprecated: ParallelTrainUDA is kept as a thin wrapper for the
+// in-RDBMS deployment story; its worker pool moved to internal/engine.
+// New code should use engine.Run with Strategy Sharded (noiseless) or
+// core.Train with Options{Strategy: engine.Sharded, Workers: P}
+// (private), both of which accept *Table directly.
 func ParallelTrainUDA(t *Table, f loss.Function, cfg ParallelTrainConfig) (*ParallelTrainResult, error) {
 	if cfg.Rand == nil {
 		return nil, errors.New("bismarck: ParallelTrainConfig.Rand is required")
@@ -134,16 +167,10 @@ func ParallelTrainUDA(t *Table, f loss.Function, cfg ParallelTrainConfig) (*Para
 		return nil, err
 	}
 
-	parts, err := t.Partitions(cfg.Workers)
+	p := f.Params()
+	minPart, err := engine.ShardSize(t.Len(), cfg.Workers)
 	if err != nil {
 		return nil, err
-	}
-	p := f.Params()
-	minPart := t.Len()
-	for _, pr := range parts {
-		if n := pr[1] - pr[0]; n < minPart {
-			minPart = n
-		}
 	}
 
 	var step sgd.Schedule
@@ -152,7 +179,7 @@ func ParallelTrainUDA(t *Table, f loss.Function, cfg ParallelTrainConfig) (*Para
 		step = sgd.StronglyConvexPaper(p.Beta, p.Gamma)
 		// Δ_part(minPart)/P, evaluated at the smallest partition
 		// (largest per-partition sensitivity) for a safe bound.
-		sens = dp.SensitivityStronglyConvex(p.L, p.Gamma, minPart) / float64(cfg.Workers)
+		sens = dp.SensitivityShardedStronglyConvex(p.L, p.Gamma, minPart, cfg.Workers)
 	} else {
 		eta := convexEta(minPart, p.Beta)
 		step = sgd.Constant(eta)
@@ -160,61 +187,34 @@ func ParallelTrainUDA(t *Table, f loss.Function, cfg ParallelTrainConfig) (*Para
 		if b > minPart {
 			b = minPart
 		}
-		sens = dp.SensitivityConvexConstant(p.L, eta, cfg.Passes, b) / float64(cfg.Workers)
+		sens = dp.SensitivityShardedConvexConstant(p.L, eta, cfg.Passes, b, cfg.Workers)
 	}
 
-	// Pre-draw per-worker seeds from the caller's source so the run is
-	// deterministic regardless of goroutine scheduling.
-	seeds := make([]int64, cfg.Workers)
-	for i := range seeds {
-		seeds[i] = cfg.Rand.Int63()
+	res, err := engine.Run(t, engine.Config{
+		Strategy: engine.Sharded,
+		Workers:  cfg.Workers,
+		SGD: sgd.Config{
+			Loss:   f,
+			Step:   step,
+			Passes: cfg.Passes,
+			Batch:  cfg.Batch,
+			Radius: cfg.Radius,
+			Rand:   cfg.Rand,
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	models := make([][]float64, cfg.Workers)
-	updates := make([]int, cfg.Workers)
-	errs := make([]error, cfg.Workers)
-	var wg sync.WaitGroup
-	for i := 0; i < cfg.Workers; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			seg := &segment{t: t, lo: parts[i][0], hi: parts[i][1], scratch: make([]float64, t.d)}
-			res, err := sgd.Run(seg, sgd.Config{
-				Loss: f, Step: step, Passes: cfg.Passes, Batch: cfg.Batch,
-				Radius: cfg.Radius, Rand: rand.New(rand.NewSource(seeds[i])),
-			})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			models[i] = res.W
-			updates[i] = res.Updates
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Merge: PostgreSQL-style combine — average the partition models.
-	merged := make([]float64, t.d)
-	vec.Mean(merged, models...)
-	totalUpdates := 0
-	for _, u := range updates {
-		totalUpdates += u
-	}
-
-	out := &ParallelTrainResult{PartModels: models, Updates: totalUpdates, Sensitivity: sens}
+	out := &ParallelTrainResult{PartModels: res.ShardModels, Updates: res.Updates, Sensitivity: sens}
 	if cfg.Algorithm == OutputPerturb {
-		priv, err := cfg.Budget.Perturb(cfg.Rand, merged, sens)
+		priv, err := cfg.Budget.Perturb(cfg.Rand, res.W, sens)
 		if err != nil {
 			return nil, err
 		}
 		out.W = priv
 	} else {
-		out.W = merged
+		out.W = res.W
 		out.Sensitivity = 0
 	}
 	return out, nil

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"boltondp/internal/dp"
+	"boltondp/internal/engine"
 	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
 	"boltondp/internal/vec"
 )
 
@@ -56,6 +58,31 @@ func TestPartitions(t *testing.T) {
 	}
 	if _, err := tab.Partitions(104); err == nil {
 		t.Error("more partitions than rows accepted")
+	}
+}
+
+// Sharding a freshly loaded table whose tail page was never flushed
+// must work: Shard flushes pending rows exactly as At does, so a
+// direct engine.Run over the table — the migration path the
+// ParallelTrainUDA deprecation points at — sees every row.
+func TestShardFlushesTailPage(t *testing.T) {
+	tab := buildTable(t, 255, 4, 30) // 255 rows never fill page-sized batches
+	f := loss.NewLogistic(1e-2, 0)
+	p := f.Params()
+	res, err := engine.Run(tab, engine.Config{
+		Strategy: engine.Sharded,
+		Workers:  2,
+		SGD: sgd.Config{
+			Loss: f, Step: sgd.StronglyConvexPaper(p.Beta, p.Gamma),
+			Passes: 2, Batch: 5, Radius: 100,
+			Rand: rand.New(rand.NewSource(31)),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.W) != 4 || res.Passes != 2 {
+		t.Errorf("unexpected result shape: dim %d passes %d", len(res.W), res.Passes)
 	}
 }
 

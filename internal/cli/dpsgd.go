@@ -13,6 +13,7 @@ import (
 	"boltondp/internal/core"
 	"boltondp/internal/data"
 	"boltondp/internal/dp"
+	"boltondp/internal/engine"
 	"boltondp/internal/eval"
 	"boltondp/internal/loss"
 )
@@ -30,6 +31,8 @@ type DPSGDConfig struct {
 	Delta    float64
 	Passes   int
 	Batch    int
+	Strategy string
+	Workers  int
 	Seed     int64
 	SavePath string
 }
@@ -50,6 +53,8 @@ func ParseDPSGD(args []string, stderr io.Writer) (*DPSGDConfig, error) {
 	fs.Float64Var(&cfg.Delta, "delta", 0, "privacy budget δ (0 = pure ε-DP)")
 	fs.IntVar(&cfg.Passes, "passes", 10, "passes over the data (k)")
 	fs.IntVar(&cfg.Batch, "batch", 50, "mini-batch size (b)")
+	fs.StringVar(&cfg.Strategy, "strategy", "sequential", "execution strategy: sequential|sharded|streaming (streaming needs -passes 1)")
+	fs.IntVar(&cfg.Workers, "workers", 1, "shard count for -strategy sharded")
 	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	fs.StringVar(&cfg.SavePath, "save", "", "write the trained model (JSON) to this path")
 	if err := fs.Parse(args); err != nil {
@@ -105,15 +110,32 @@ func RunDPSGD(cfg *DPSGDConfig, out io.Writer) error {
 		radius = 1 / cfg.Lambda
 	}
 	budget := dp.Budget{Epsilon: cfg.Eps, Delta: cfg.Delta}
+	strategy, err := engine.ParseStrategy(cfg.Strategy)
+	if err != nil {
+		return err
+	}
+	passes := cfg.Passes
+	if strategy == engine.Streaming && passes != 1 {
+		// The streaming engine is single-pass by construction; say so
+		// instead of silently training a 1-pass model under a k-pass
+		// flag (the library errors in the same case).
+		fmt.Fprintf(out, "streaming is single-pass: overriding -passes %d with 1\n", passes)
+		passes = 1
+	}
 
-	fmt.Fprintf(out, "train: m=%d d=%d  test: m=%d  loss=%s  algo=%s  budget=%v\n",
-		train.Len(), train.Dim(), test.Len(), f.Name(), cfg.Algo, budget)
+	fmt.Fprintf(out, "train: m=%d d=%d  test: m=%d  loss=%s  algo=%s  budget=%v  strategy=%v workers=%d\n",
+		train.Len(), train.Dim(), test.Len(), f.Name(), cfg.Algo, budget, strategy, cfg.Workers)
+
+	if (strategy != engine.Sequential || cfg.Workers > 1) && cfg.Algo != "ours" && cfg.Algo != "noiseless" {
+		return fmt.Errorf("cli: algorithm %q is white-box and sequential-only; drop -strategy/-workers", cfg.Algo)
+	}
 
 	var w []float64
 	switch cfg.Algo {
 	case "ours":
 		res, err := core.Train(train, f, core.Options{
-			Budget: budget, Passes: cfg.Passes, Batch: cfg.Batch, Radius: radius, Rand: r,
+			Budget: budget, Passes: passes, Batch: cfg.Batch, Radius: radius,
+			Strategy: strategy, Workers: cfg.Workers, Rand: r,
 		})
 		if err != nil {
 			return err
@@ -123,7 +145,8 @@ func RunDPSGD(cfg *DPSGDConfig, out io.Writer) error {
 			res.Sensitivity, res.NoiseNorm, res.Updates)
 	case "noiseless":
 		res, err := baselines.Noiseless(train, f, baselines.Options{
-			Passes: cfg.Passes, Batch: cfg.Batch, Radius: radius, Rand: r,
+			Passes: passes, Batch: cfg.Batch, Radius: radius,
+			Strategy: strategy, Workers: cfg.Workers, Rand: r,
 		})
 		if err != nil {
 			return err

@@ -78,6 +78,54 @@ func TestRunDPSGDAllAlgorithms(t *testing.T) {
 	}
 }
 
+func TestParseDPSGDStrategyFlags(t *testing.T) {
+	cfg, err := ParseDPSGD([]string{"-strategy", "sharded", "-workers", "4"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Strategy != "sharded" || cfg.Workers != 4 {
+		t.Errorf("parsed: %+v", cfg)
+	}
+	if def, _ := ParseDPSGD(nil, io.Discard); def.Strategy != "sequential" || def.Workers != 1 {
+		t.Errorf("defaults: %+v", def)
+	}
+}
+
+func TestRunDPSGDStrategies(t *testing.T) {
+	for _, algo := range []string{"ours", "noiseless"} {
+		out, err := runQuick(t, func(c *DPSGDConfig) {
+			c.Algo = algo
+			c.Strategy = "sharded"
+			c.Workers = 2
+		})
+		if err != nil {
+			t.Fatalf("%s sharded: %v", algo, err)
+		}
+		if !strings.Contains(out, "strategy=sharded workers=2") {
+			t.Errorf("%s sharded: missing strategy line in %q", algo, out)
+		}
+	}
+	// Streaming pins passes to 1 regardless of -passes.
+	out, err := runQuick(t, func(c *DPSGDConfig) { c.Strategy = "streaming" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "strategy=streaming") || !strings.Contains(out, "test  accuracy:") {
+		t.Errorf("streaming output: %q", out)
+	}
+	// White-box algorithms reject non-sequential strategies — and a
+	// bare -workers N, which would otherwise be silently ignored.
+	if _, err := runQuick(t, func(c *DPSGDConfig) { c.Algo = "scs13"; c.Strategy = "sharded"; c.Workers = 2 }); err == nil {
+		t.Error("scs13 sharded accepted")
+	}
+	if _, err := runQuick(t, func(c *DPSGDConfig) { c.Algo = "scs13"; c.Workers = 8 }); err == nil {
+		t.Error("scs13 with -workers accepted (would run sequentially while printing workers=8)")
+	}
+	if _, err := runQuick(t, func(c *DPSGDConfig) { c.Strategy = "nope" }); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
 func TestRunDPSGDHuber(t *testing.T) {
 	out, err := runQuick(t, func(c *DPSGDConfig) { c.LossName = "huber" })
 	if err != nil {

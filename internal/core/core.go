@@ -6,12 +6,18 @@
 // convex step-size families of Corollaries 1–3.
 //
 // The defining property of the approach is preserved structurally: this
-// package calls the SGD engine strictly as a black box (sgd.Run with no
-// GradNoise hook) and perturbs only the returned model, with noise
-// calibrated by the sensitivity calculus in internal/dp. Swapping in
-// any other conforming SGD implementation — e.g. the Bismarck-style
-// in-RDBMS engine in internal/bismarck — requires no change here, which
-// is the paper's "ease of integration" claim in code form.
+// package calls the execution engine strictly as a black box
+// (engine.Run with no GradNoise hook) and perturbs only the returned
+// model, with noise calibrated by the sensitivity calculus in
+// internal/dp. The engine strategy — sequential, sharded across
+// workers, or streaming — is a run-time choice (Options.Strategy), and
+// the calibration here is the only place that has to know about it:
+// sharded runs evaluate the per-shard bound at the smallest shard and
+// divide by the worker count (see dp.SensitivityShardedStronglyConvex),
+// streaming runs are pinned to a single pass. Swapping in any other
+// conforming SGD implementation — e.g. the Bismarck-style in-RDBMS
+// engine in internal/bismarck — requires no change here, which is the
+// paper's "ease of integration" claim in code form.
 package core
 
 import (
@@ -21,6 +27,7 @@ import (
 	"math/rand"
 
 	"boltondp/internal/dp"
+	"boltondp/internal/engine"
 	"boltondp/internal/loss"
 	"boltondp/internal/sgd"
 )
@@ -112,7 +119,20 @@ type Options struct {
 	// it because its noise must be fixed in advance.
 	Tol float64
 
-	// Rand is the randomness source for the permutation and the noise.
+	// Strategy selects the execution-engine strategy (internal/engine):
+	// Sequential (the default — Algorithms 1–2 verbatim), Sharded
+	// (Workers disjoint shards with per-epoch model averaging; noise is
+	// calibrated for the averaged model), or Streaming (one in-order
+	// pass, the online scenario; Passes must be ≤ 1).
+	Strategy engine.Strategy
+
+	// Workers is the shard count for the Sharded strategy (default 1;
+	// one worker is executed exactly as Sequential). Setting Workers > 1
+	// with any other strategy is an error.
+	Workers int
+
+	// Rand is the randomness source for the permutation(s), the worker
+	// seeds and the noise.
 	Rand *rand.Rand
 }
 
@@ -146,6 +166,40 @@ func (o *Options) validate() error {
 	if o.Rand == nil {
 		return errors.New("core: Options.Rand is required")
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative Workers (%d)", o.Workers)
+	}
+	if o.Workers > 1 && o.Strategy != engine.Sharded {
+		return fmt.Errorf("core: Workers=%d requires the Sharded strategy, got %v", o.Workers, o.Strategy)
+	}
+	return nil
+}
+
+// shardSize returns the dataset size the step schedule and the
+// per-shard sensitivity are evaluated at: the smallest shard for
+// Sharded runs (the smallest shard has the largest bound), m otherwise.
+func (o *Options) shardSize(m int) (int, error) {
+	if o.Strategy != engine.Sharded || o.Workers <= 1 {
+		return m, nil
+	}
+	return engine.ShardSize(m, o.Workers)
+}
+
+// effWorkers is the averaging divisor the sharded sensitivity calculus
+// applies (1 for everything but a multi-worker Sharded run).
+func (o *Options) effWorkers() int {
+	if o.Strategy == engine.Sharded && o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
+}
+
+// checkStreaming enforces the single-pass constraint of the streaming
+// strategy, whose sensitivity is calibrated for exactly one pass.
+func (o *Options) checkStreaming() error {
+	if o.Strategy == engine.Streaming && o.Passes != 1 {
+		return fmt.Errorf("core: Streaming execution is single-pass; got Passes=%d (leave Passes at 0 or set it to 1)", o.Passes)
+	}
 	return nil
 }
 
@@ -166,7 +220,9 @@ type Result struct {
 	// NoiseNorm is ‖κ‖, the realized noise magnitude.
 	NoiseNorm float64
 
-	// Updates and Passes echo the underlying SGD run.
+	// Updates and Passes echo the underlying engine run. Under the
+	// Sharded strategy Updates is summed across workers and Passes
+	// counts merge epochs.
 	Updates int
 	Passes  int
 }
@@ -178,7 +234,10 @@ type Result struct {
 //	Δ₂ = (4L/β)(1/(b·m^c) + ln k/m)           (decreasing, Corollary 2, batch-aware)
 //	Δ₂ = (4L/(bβ))Σ_j 1/√(j·m/b+1+m^c)        (square-root, Corollary 3, batch-aware)
 //
-// under Options.Budget. The loss must be convex (γ may be 0; a strongly
+// under Options.Budget. Under the Sharded strategy the schedule and the
+// bounds above are evaluated at the smallest shard size and divided by
+// the worker count (the averaged-model sensitivity); under Streaming,
+// k is pinned to 1. The loss must be convex (γ may be 0; a strongly
 // convex loss is allowed but Algorithm 2 gives strictly less noise).
 func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 	if err := opt.validate(); err != nil {
@@ -191,10 +250,18 @@ func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, er
 	if m == 0 {
 		return nil, errors.New("core: empty training set")
 	}
-	o := opt.withDefaults(m)
+	n, err := opt.shardSize(m)
+	if err != nil {
+		return nil, err
+	}
+	o := opt.withDefaults(n) // paper defaults at the per-shard size
+	if err := o.checkStreaming(); err != nil {
+		return nil, err
+	}
 	p := f.Params()
-	if o.Batch > m {
-		o.Batch = m // mirror the engine's clamp so Δ₂ is not over-divided
+	workers := o.effWorkers()
+	if o.Batch > n {
+		o.Batch = n // mirror the engine's clamp so Δ₂ is not over-divided
 	}
 
 	var step sgd.Schedule
@@ -203,32 +270,36 @@ func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, er
 	case StepConstant:
 		eta := math.Min(o.Eta, 2/p.Beta) // Lemma 1.1 validity
 		step = sgd.Constant(eta)
-		sens = dp.SensitivityConvexConstant(p.L, eta, o.Passes, o.Batch)
+		sens = dp.SensitivityShardedConvexConstant(p.L, eta, o.Passes, o.Batch, workers)
 	case StepDecreasing:
-		step = sgd.DecreasingConvex(p.Beta, m, o.C)
-		sens = dp.SensitivityConvexDecreasing(p.L, p.Beta, o.Passes, m, o.Batch, o.C)
+		step = sgd.DecreasingConvex(p.Beta, n, o.C)
+		sens = dp.SensitivityShardedConvexDecreasing(p.L, p.Beta, o.Passes, n, o.Batch, o.C, workers)
 	case StepSqrt:
-		step = sgd.SqrtConvex(p.Beta, m, o.C)
-		sens = dp.SensitivityConvexSqrt(p.L, p.Beta, o.Passes, m, o.Batch, o.C)
+		step = sgd.SqrtConvex(p.Beta, n, o.C)
+		sens = dp.SensitivityShardedConvexSqrt(p.L, p.Beta, o.Passes, n, o.Batch, o.C, workers)
 	default:
 		return nil, fmt.Errorf("core: unknown StepKind %v", o.Step)
 	}
 
-	res, err := sgd.Run(s, sgd.Config{
-		Loss:        f,
-		Step:        step,
-		Passes:      o.Passes,
-		Batch:       o.Batch,
-		Radius:      o.Radius,
-		Average:     o.Average,
-		AverageTail: o.AverageTail,
-		FreshPerm:   o.FreshPerm,
-		Rand:        o.Rand,
+	res, err := engine.Run(s, engine.Config{
+		Strategy: o.Strategy,
+		Workers:  o.Workers,
+		SGD: sgd.Config{
+			Loss:        f,
+			Step:        step,
+			Passes:      o.Passes,
+			Batch:       o.Batch,
+			Radius:      o.Radius,
+			Average:     o.Average,
+			AverageTail: o.AverageTail,
+			FreshPerm:   o.FreshPerm,
+			Rand:        o.Rand,
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	return perturb(res, o, sens)
+	return perturb(&res.Result, o, sens)
 }
 
 // PrivateStronglyConvexPSGD is Algorithm 2 (plus extensions): k-pass
@@ -236,7 +307,11 @@ func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, er
 // Δ₂ = 2L/(γm) (Lemma 8, sound batch-aware form) — independent of k,
 // so Options.Tol early
 // stopping is allowed (§4.3 "the number of passes k is oblivious to
-// private SGD"). The loss must be γ-strongly convex.
+// private SGD"). Under the Sharded strategy the bound is evaluated at
+// the smallest shard and divided by the worker count, which for equal
+// shards is exactly the sequential 2L/(γm): parallelism is privacy-free
+// (the paper's multicore punchline). The loss must be γ-strongly
+// convex.
 func PrivateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -249,30 +324,45 @@ func PrivateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Re
 	if !p.StronglyConvex() {
 		return nil, fmt.Errorf("core: loss %q is not strongly convex (γ=0); use PrivateConvexPSGD", f.Name())
 	}
-	o := opt.withDefaults(m)
+	n, err := opt.shardSize(m)
+	if err != nil {
+		return nil, err
+	}
+	o := opt.withDefaults(n)
+	if err := o.checkStreaming(); err != nil {
+		return nil, err
+	}
+	workers := o.effWorkers()
+	if o.Batch > n {
+		o.Batch = n // mirror the engine's clamp so the paper-batch Δ₂ is not over-divided
+	}
 
-	res, err := sgd.Run(s, sgd.Config{
-		Loss:        f,
-		Step:        sgd.StronglyConvexPaper(p.Beta, p.Gamma),
-		Passes:      o.Passes,
-		Batch:       o.Batch,
-		Radius:      o.Radius,
-		Average:     o.Average,
-		AverageTail: o.AverageTail,
-		FreshPerm:   o.FreshPerm,
-		Rand:        o.Rand,
-		Tol:         o.Tol,
+	res, err := engine.Run(s, engine.Config{
+		Strategy: o.Strategy,
+		Workers:  o.Workers,
+		SGD: sgd.Config{
+			Loss:        f,
+			Step:        sgd.StronglyConvexPaper(p.Beta, p.Gamma),
+			Passes:      o.Passes,
+			Batch:       o.Batch,
+			Radius:      o.Radius,
+			Average:     o.Average,
+			AverageTail: o.AverageTail,
+			FreshPerm:   o.FreshPerm,
+			Rand:        o.Rand,
+			Tol:         o.Tol,
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
 	var sens float64
 	if o.PaperBatchSensitivity {
-		sens = dp.SensitivityStronglyConvexPaperBatch(p.L, p.Gamma, m, o.Batch)
+		sens = dp.SensitivityStronglyConvexPaperBatch(p.L, p.Gamma, n, o.Batch) / float64(workers)
 	} else {
-		sens = dp.SensitivityStronglyConvex(p.L, p.Gamma, m)
+		sens = dp.SensitivityShardedStronglyConvex(p.L, p.Gamma, n, workers)
 	}
-	return perturb(res, o, sens)
+	return perturb(&res.Result, o, sens)
 }
 
 // Train dispatches to the tighter applicable algorithm: Algorithm 2

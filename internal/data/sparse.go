@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"boltondp/internal/sgd"
 	"boltondp/internal/vec"
 )
 
@@ -19,7 +20,9 @@ import (
 // sparsity factor while leaving the SGD engine untouched.
 //
 // At reuses the scratch buffer, so — like bismarck.Table — a
-// SparseDataset must not be shared across concurrent SGD runs.
+// SparseDataset must not be shared across concurrent SGD runs; the
+// sharded engine instead goes through Shard, which hands each worker
+// an independent view with a private scratch.
 type SparseDataset struct {
 	Name    string
 	Classes int
@@ -80,13 +83,50 @@ func (d *SparseDataset) Dim() int { return d.dim }
 // At implements sgd.Samples; the returned slice is valid until the next
 // At call.
 func (d *SparseDataset) At(i int) ([]float64, float64) {
-	for j := range d.scratch {
-		d.scratch[j] = 0
+	return d.at(i, d.scratch)
+}
+
+// at scatters row i into the given scratch buffer, so independent shard
+// views can scan concurrently.
+func (d *SparseDataset) at(i int, scratch []float64) ([]float64, float64) {
+	for j := range scratch {
+		scratch[j] = 0
 	}
 	for k := d.indptr[i]; k < d.indptr[i+1]; k++ {
-		d.scratch[d.idx[k]] = d.val[k]
+		scratch[d.idx[k]] = d.val[k]
 	}
-	return d.scratch, d.y[i]
+	return scratch, d.y[i]
+}
+
+// Shard implements engine.Sharder: an independent read-only view of
+// rows [lo, hi) with its own dense scratch, so shards of one
+// SparseDataset can be scanned concurrently by the sharded engine (the
+// CSR arrays themselves are immutable during training).
+func (d *SparseDataset) Shard(lo, hi int) sgd.Samples {
+	return &sparseShard{d: d, lo: lo, hi: hi, scratch: make([]float64, d.dim)}
+}
+
+type sparseShard struct {
+	d       *SparseDataset
+	lo, hi  int
+	scratch []float64
+}
+
+func (v *sparseShard) Len() int { return v.hi - v.lo }
+func (v *sparseShard) Dim() int { return v.d.dim }
+func (v *sparseShard) At(i int) ([]float64, float64) {
+	if i < 0 || i >= v.hi-v.lo {
+		// Shard disjointness backs the /P sensitivity division; an
+		// interior overrun must fail loudly, not read a neighbor's row.
+		panic(fmt.Sprintf("data: shard row %d out of range [0,%d)", i, v.hi-v.lo))
+	}
+	return v.d.at(v.lo+i, v.scratch)
+}
+
+// Shard keeps views shardable in turn, translating to parent
+// coordinates so sharded runs over a row-range view stay race-free.
+func (v *sparseShard) Shard(lo, hi int) sgd.Samples {
+	return v.d.Shard(v.lo+lo, v.lo+hi)
 }
 
 // Row returns the i-th example in sparse form (views into the CSR

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"boltondp/internal/sgd"
 	"boltondp/internal/vec"
 )
 
@@ -54,6 +55,12 @@ func (s *Stream) Dim() int { return s.D }
 // At implements sgd.Samples, regenerating row i deterministically. The
 // returned slice is valid until the next At call.
 func (s *Stream) At(i int) ([]float64, float64) {
+	return s.at(i, s.scratch)
+}
+
+// at regenerates row i into the given scratch buffer, so independent
+// shard views can scan concurrently.
+func (s *Stream) at(i int, scratch []float64) ([]float64, float64) {
 	if i < 0 || i >= s.M {
 		panic(fmt.Sprintf("data: stream row %d out of range [0,%d)", i, s.M))
 	}
@@ -61,19 +68,56 @@ func (s *Stream) At(i int) ([]float64, float64) {
 	c := r.Intn(2)
 	center := s.centers[c]
 	var norm float64
-	for j := range s.scratch {
+	for j := range scratch {
 		v := center[j] + r.NormFloat64()*s.Spread
-		s.scratch[j] = v
+		scratch[j] = v
 		norm += v * v
 	}
 	if norm > 1 {
-		vec.Scale(s.scratch, 1/math.Sqrt(norm))
+		vec.Scale(scratch, 1/math.Sqrt(norm))
 	}
 	y := float64(2*c - 1)
 	if s.Flip > 0 && r.Float64() < s.Flip {
 		y = -y
 	}
-	return s.scratch, y
+	return scratch, y
+}
+
+// Shard implements engine.Sharder: an independent view of rows
+// [lo, hi) with its own scratch buffer, so shards of one Stream can be
+// scanned concurrently by the sharded engine. Rows keep their global
+// identity — shard row i is stream row lo+i, derived from
+// (Seed, lo+i) exactly as through At.
+func (s *Stream) Shard(lo, hi int) sgd.Samples {
+	return &streamShard{s: s, lo: lo, hi: hi, scratch: make([]float64, s.D)}
+}
+
+// streamShard is a read-only row-range view of a Stream with a private
+// scratch buffer. The parent's centers are immutable after NewStream,
+// so views never race.
+type streamShard struct {
+	s       *Stream
+	lo, hi  int
+	scratch []float64
+}
+
+func (v *streamShard) Len() int { return v.hi - v.lo }
+func (v *streamShard) Dim() int { return v.s.D }
+func (v *streamShard) At(i int) ([]float64, float64) {
+	if i < 0 || i >= v.hi-v.lo {
+		// The parent's own range check would not catch an interior
+		// overrun, and shard disjointness is what the /P sensitivity
+		// division rests on — fail loudly instead.
+		panic(fmt.Sprintf("data: shard row %d out of range [0,%d)", i, v.hi-v.lo))
+	}
+	return v.s.at(v.lo+i, v.scratch)
+}
+
+// Shard keeps views shardable in turn (a view's scratch is as
+// concurrency-unsafe as its parent's): sub-shards translate to parent
+// coordinates, so sharded runs over a row-range view stay race-free.
+func (v *streamShard) Shard(lo, hi int) sgd.Samples {
+	return v.s.Shard(v.lo+lo, v.lo+hi)
 }
 
 // mix is a splitmix64-style hash combining the stream seed with the row

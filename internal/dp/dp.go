@@ -216,6 +216,67 @@ func SensitivityStronglyConvexConstant(L, gamma, eta float64, m, b int) float64 
 }
 
 // ---------------------------------------------------------------------
+// Sharded (parallel) sensitivity — the engine's averaged-model bounds.
+//
+// The sharded execution strategy (internal/engine) cuts the m rows into
+// P disjoint shards of size ≥ minShard, advances per-shard PSGD one
+// pass per epoch, and merges by uniform model averaging. A single
+// differing example lives in exactly one shard, so per epoch the pair
+// of runs diverges only inside that shard — by at most the single-shard
+// per-epoch injection 2η_t·L/b — and averaging divides the injected
+// difference by P. Carried differences are propagated to every worker
+// through the shared averaged model, where each update contracts them
+// by (1−η_tγ) (Lemma 2; factor 1 in the merely convex case), which is
+// exactly the telescoping of Lemmas 7–8 evaluated on a dataset of the
+// shard's size. The averaged-model sensitivity is therefore
+//
+//	Δ_sharded = Δ_shard(minShard) / P
+//
+// for every schedule family, evaluated at the smallest shard (largest
+// per-shard bound). For the strongly convex schedule this equals
+// 2L/(γ·(m/P))/P = 2L/(γm) — the sequential bound, making parallelism
+// free privacy-wise. The bound is verified empirically against
+// brute-force neighboring-dataset engine runs in this package's tests.
+// ---------------------------------------------------------------------
+
+func checkWorkers(workers int) {
+	if workers < 1 {
+		panic(fmt.Sprintf("dp: sharded sensitivity requires workers >= 1, got %d", workers))
+	}
+}
+
+// SensitivityShardedStronglyConvex is Lemma 8 under P-way sharding with
+// per-epoch model averaging: Δ₂ = 2L/(γ·minShard)/P. With equal shards
+// (minShard = m/P) this collapses to the sequential 2L/(γm).
+func SensitivityShardedStronglyConvex(L, gamma float64, minShard, workers int) float64 {
+	checkWorkers(workers)
+	return SensitivityStronglyConvex(L, gamma, minShard) / float64(workers)
+}
+
+// SensitivityShardedConvexConstant is Corollary 1 under P-way sharding:
+// Δ₂ = 2kLη/(b·P) — strictly better than the sequential bound, since
+// the per-epoch injection happens in one shard and is averaged away by
+// the merge.
+func SensitivityShardedConvexConstant(L, eta float64, k, b, workers int) float64 {
+	checkWorkers(workers)
+	return SensitivityConvexConstant(L, eta, k, b) / float64(workers)
+}
+
+// SensitivityShardedConvexDecreasing is Corollary 2 under P-way
+// sharding, evaluated at the smallest shard: Δ_shard(minShard)/P.
+func SensitivityShardedConvexDecreasing(L, beta float64, k, minShard, b int, c float64, workers int) float64 {
+	checkWorkers(workers)
+	return SensitivityConvexDecreasing(L, beta, k, minShard, b, c) / float64(workers)
+}
+
+// SensitivityShardedConvexSqrt is Corollary 3 under P-way sharding,
+// evaluated at the smallest shard: Δ_shard(minShard)/P.
+func SensitivityShardedConvexSqrt(L, beta float64, k, minShard, b int, c float64, workers int) float64 {
+	checkWorkers(workers)
+	return SensitivityConvexSqrt(L, beta, k, minShard, b, c) / float64(workers)
+}
+
+// ---------------------------------------------------------------------
 // Composition.
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"boltondp/internal/data"
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+)
+
+// Engine benchmarks: one fixed strongly convex workload executed under
+// every strategy, so future PRs can track shard-scaling speedups
+// (run with: go test -bench Engine -benchmem ./internal/engine).
+
+const (
+	benchRows = 20000
+	benchDim  = 50
+)
+
+func benchCfg(f loss.Function, seed int64) sgd.Config {
+	p := f.Params()
+	return sgd.Config{
+		Loss:   f,
+		Step:   sgd.StronglyConvexPaper(p.Beta, p.Gamma),
+		Passes: 2,
+		Batch:  10,
+		Radius: 100,
+		Rand:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func BenchmarkEngineSequential(b *testing.B) {
+	ds := data.ScaleSim(1, benchRows, benchDim)
+	f := loss.NewLogistic(1e-2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ds, Config{Strategy: Sequential, SGD: benchCfg(f, int64(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineSharded(b *testing.B) {
+	ds := data.ScaleSim(1, benchRows, benchDim)
+	f := loss.NewLogistic(1e-2, 0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(ds, Config{Strategy: Sharded, Workers: workers, SGD: benchCfg(f, int64(i))}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEngineStreaming(b *testing.B) {
+	s := data.NewStream(1, benchRows, benchDim, 0.4, 0)
+	f := loss.NewLogistic(1e-2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := benchCfg(f, int64(i))
+		c.Passes = 1
+		c.Rand = nil
+		if _, err := Run(s, Config{Strategy: Streaming, SGD: c}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,414 @@
+// Package engine is the pluggable execution layer for permutation-based
+// SGD. Every trainer in the repository — the private bolt-on algorithms
+// in internal/core, the noiseless and white-box baselines, and the
+// Bismarck-style in-RDBMS substrate — funnels its runs through Run,
+// which executes them under one of three strategies behind a single
+// interface:
+//
+//   - Sequential: one goroutine, one permutation — exactly sgd.Run.
+//     This is the execution model the paper's Algorithms 1–2 are stated
+//     for and the reference semantics the other strategies are defined
+//     (and tested) against.
+//
+//   - Sharded: the paper's parallel bolt-on scheme (the multicore
+//     deployment of §4.2 and the MapReduce extension of footnote 2).
+//     The row range is cut into Workers disjoint contiguous shards; in
+//     every epoch each worker advances permutation SGD one pass over
+//     its own shard starting from the shared model, and the per-shard
+//     models are merged by uniform averaging — the PostgreSQL
+//     combine-function contract. Output perturbation composes cleanly:
+//     a differing example lives in exactly one shard, so per epoch the
+//     averaged model moves by at most 1/P of the single-shard
+//     perturbation, and the telescoping of Lemmas 7–8 carries through
+//     unchanged (see dp.SensitivityShardedStronglyConvex and friends
+//     for the resulting bounds, and the empirical verification in
+//     internal/dp's tests).
+//
+//   - Streaming: a single pass in natural row order — the online
+//     scenario. No permutation array is materialized, so lazily
+//     generated sources (data.Stream) train in O(d) memory at any m.
+//     Sensitivity bounds hold for any fixed ordering; convergence
+//     relies on the source being i.i.d.-ordered, which streams are by
+//     construction.
+//
+// The engine sits strictly below the privacy layer: it adds no noise
+// and computes no sensitivities. internal/core calibrates the noise to
+// the strategy it selects; the engine's job is to make the execution
+// shape a run-time choice instead of a fork of the training loop.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"boltondp/internal/sgd"
+	"boltondp/internal/vec"
+)
+
+// Strategy selects how a PSGD run is executed.
+type Strategy int
+
+const (
+	// Sequential runs sgd.Run unchanged on one goroutine.
+	Sequential Strategy = iota
+	// Sharded runs Workers per-shard PSGD workers with per-epoch model
+	// averaging.
+	Sharded
+	// Streaming runs a single in-order pass with no materialized
+	// permutation.
+	Streaming
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Sequential:
+		return "sequential"
+	case Sharded:
+		return "sharded"
+	case Streaming:
+		return "streaming"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy maps a CLI-style name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "sequential", "seq":
+		return Sequential, nil
+	case "sharded", "shard", "parallel":
+		return Sharded, nil
+	case "streaming", "stream":
+		return Streaming, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown strategy %q (want sequential|sharded|streaming)", name)
+	}
+}
+
+// Sharder is implemented by sample sources whose At is not safe for
+// concurrent use (typically because it decodes into a reused scratch
+// buffer): Shard must return an independent read-only view of rows
+// [lo, hi) with its own scratch. bismarck.Table and data.Stream
+// implement it. Sources without the method are wrapped in a plain
+// range view and must tolerate concurrent At calls from different
+// goroutines, as data.Dataset and sgd.SliceSamples do.
+type Sharder interface {
+	Shard(lo, hi int) sgd.Samples
+}
+
+// Config describes one engine run: the shared SGD parameters plus the
+// execution strategy that realizes them.
+type Config struct {
+	// Strategy selects the execution plan (default Sequential).
+	Strategy Strategy
+
+	// Workers is the shard count P for Sharded (default 1). One worker
+	// is delegated to the sequential path and is bit-for-bit identical
+	// to Sequential — the property the engine tests pin down.
+	Workers int
+
+	// SGD carries the run parameters common to all strategies. Strategy
+	// restrictions: Sharded rejects GradNoise (white-box per-batch noise
+	// has no sharded sensitivity analysis), Perm (each worker samples
+	// its own shard permutations) and AverageTail; Streaming rejects
+	// Passes > 1, Perm and FreshPerm.
+	SGD sgd.Config
+}
+
+// Result reports one engine run.
+type Result struct {
+	sgd.Result
+
+	// ShardModels are the final per-shard models before the last merge
+	// (Sharded only; a single-element view of W under one-worker
+	// delegation). Like Result.W they are NOT private — they exist so
+	// experiments can report shard divergence. Never publish them.
+	ShardModels [][]float64
+
+	// Workers is the effective worker count of the run (1 for
+	// Sequential and Streaming).
+	Workers int
+}
+
+// Run executes the configured training run and returns the resulting
+// model(s). It is deterministic given Config.SGD.Rand's state and the
+// worker count, regardless of goroutine scheduling.
+func Run(s sgd.Samples, cfg Config) (*Result, error) {
+	if cfg.Workers > 1 && cfg.Strategy != Sharded {
+		// Reject rather than ignore: a caller who calibrated noise for
+		// a P-way sharded run must not silently get a sequential one.
+		return nil, fmt.Errorf("engine: Workers=%d requires the Sharded strategy, got %v", cfg.Workers, cfg.Strategy)
+	}
+	switch cfg.Strategy {
+	case Sequential:
+		return runSequential(s, cfg.SGD)
+	case Sharded:
+		return runSharded(s, cfg)
+	case Streaming:
+		return runStreaming(s, cfg.SGD)
+	default:
+		return nil, fmt.Errorf("engine: unknown strategy %v", cfg.Strategy)
+	}
+}
+
+func runSequential(s sgd.Samples, c sgd.Config) (*Result, error) {
+	res, err := sgd.Run(s, c)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: *res, Workers: 1}, nil
+}
+
+func runStreaming(s sgd.Samples, c sgd.Config) (*Result, error) {
+	if c.Passes == 0 {
+		c.Passes = 1
+	}
+	if c.Passes != 1 {
+		return nil, fmt.Errorf("engine: Streaming is single-pass, got Passes=%d (use Sequential with FreshPerm for multi-pass runs)", c.Passes)
+	}
+	if c.Perm != nil || c.FreshPerm {
+		return nil, errors.New("engine: Streaming processes rows in natural order; Perm and FreshPerm do not apply")
+	}
+	c.NoPerm = true
+	return runSequential(s, c)
+}
+
+// ShardBounds returns the [lo, hi) row ranges of the workers shards:
+// contiguous, nearly equal, with the remainder merged into the last
+// shard — the same policy bismarck.(*Table).Partitions has always used,
+// now shared through here. It panics unless 1 ≤ workers ≤ m.
+func ShardBounds(m, workers int) [][2]int {
+	if workers < 1 || workers > m {
+		panic(fmt.Sprintf("engine: cannot split %d rows into %d shards", m, workers))
+	}
+	out := make([][2]int, workers)
+	size := m / workers
+	for i := 0; i < workers; i++ {
+		lo := i * size
+		hi := lo + size
+		if i == workers-1 {
+			hi = m
+		}
+		out[i] = [2]int{lo, hi}
+	}
+	return out
+}
+
+// MinShard returns the smallest shard size ShardBounds produces — the
+// size per-shard sensitivities must be evaluated at, since the smallest
+// shard yields the largest bound. Workers ≤ 1 returns m. Like
+// ShardBounds it panics when workers exceeds m: returning 0 would turn
+// a downstream 2L/(γ·minShard) into +Inf instead of failing fast (use
+// ShardSize for the error-returning form).
+func MinShard(m, workers int) int {
+	if workers <= 1 {
+		return m
+	}
+	if workers > m {
+		panic(fmt.Sprintf("engine: cannot split %d rows into %d shards", m, workers))
+	}
+	return m / workers
+}
+
+// ShardSize is the validating form of MinShard for callers resolving a
+// run shape from user input: it returns the size schedules and
+// sensitivities must be evaluated at, or an error when the worker
+// count cannot be satisfied. It is the single authority the
+// calibration layers (core, baselines) share.
+func ShardSize(m, workers int) (int, error) {
+	if workers > m {
+		return 0, fmt.Errorf("engine: %d workers for %d rows", workers, m)
+	}
+	return MinShard(m, workers), nil
+}
+
+// shardView returns a read-only view of rows [lo, hi), through the
+// source's own Sharder implementation when it has one.
+func shardView(s sgd.Samples, lo, hi int) sgd.Samples {
+	if sh, ok := s.(Sharder); ok {
+		return sh.Shard(lo, hi)
+	}
+	return RangeView(s, lo, hi)
+}
+
+// RangeView wraps a concurrency-safe source in a read-only row-range
+// view of [lo, hi). It is what the engine builds for sources without a
+// Sharder implementation; wrappers that relabel or restrict another
+// source (eval.BinaryView) reuse it rather than duplicating the type.
+func RangeView(s sgd.Samples, lo, hi int) sgd.Samples {
+	if lo < 0 || hi < lo || hi > s.Len() {
+		panic(fmt.Sprintf("engine: range view [%d,%d) out of bounds for %d rows", lo, hi, s.Len()))
+	}
+	return &rangeView{s: s, lo: lo, hi: hi}
+}
+
+type rangeView struct {
+	s      sgd.Samples
+	lo, hi int
+}
+
+func (v *rangeView) Len() int { return v.hi - v.lo }
+func (v *rangeView) Dim() int { return v.s.Dim() }
+func (v *rangeView) At(i int) ([]float64, float64) {
+	if i < 0 || i >= v.hi-v.lo {
+		panic(fmt.Sprintf("engine: view row %d out of range [0,%d)", i, v.hi-v.lo))
+	}
+	return v.s.At(v.lo + i)
+}
+
+func runSharded(s sgd.Samples, cfg Config) (*Result, error) {
+	c := cfg.SGD
+	if cfg.Workers <= 1 {
+		// One shard is the whole dataset, so delegate: this is what
+		// makes Sharded(P=1) ≡ Sequential hold bit-for-bit (the sharded
+		// loop below would consume Rand differently through per-worker
+		// seeding).
+		res, err := runSequential(s, c)
+		if err != nil {
+			return nil, err
+		}
+		res.ShardModels = [][]float64{res.W}
+		return res, nil
+	}
+
+	m := s.Len()
+	if m == 0 {
+		return nil, errors.New("engine: empty training set")
+	}
+	if cfg.Workers > m {
+		return nil, fmt.Errorf("engine: %d workers for %d rows", cfg.Workers, m)
+	}
+	if c.Passes < 1 {
+		return nil, fmt.Errorf("engine: Passes must be >= 1, got %d", c.Passes)
+	}
+	if c.GradNoise != nil {
+		return nil, errors.New("engine: Sharded rejects GradNoise — white-box per-batch noise has no sharded sensitivity analysis")
+	}
+	if c.Perm != nil {
+		return nil, errors.New("engine: Sharded samples per-shard permutations; Perm does not apply")
+	}
+	if c.NoPerm {
+		return nil, errors.New("engine: Sharded samples per-shard permutations; NoPerm does not apply")
+	}
+	if c.AverageTail {
+		return nil, errors.New("engine: AverageTail is not supported under Sharded; use Average")
+	}
+	if c.Rand == nil {
+		return nil, errors.New("engine: Sharded requires Rand to seed its workers")
+	}
+	d := s.Dim()
+	if c.W0 != nil && len(c.W0) != d {
+		return nil, fmt.Errorf("engine: W0 has dim %d, want %d", len(c.W0), d)
+	}
+
+	bounds := ShardBounds(m, cfg.Workers)
+	shards := make([]sgd.Samples, cfg.Workers)
+	for i, b := range bounds {
+		shards[i] = shardView(s, b[0], b[1])
+	}
+
+	// Pre-draw per-worker generators from the caller's source so the
+	// run is deterministic regardless of goroutine scheduling. Each
+	// worker keeps its generator across epochs, so every epoch scans a
+	// fresh shard permutation (the §3.2.3 fresh-permutation extension;
+	// sensitivity is unchanged by it).
+	rngs := make([]*rand.Rand, cfg.Workers)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(c.Rand.Int63()))
+	}
+
+	w := make([]float64, d)
+	if c.W0 != nil {
+		copy(w, c.W0)
+	}
+	var wsum, epochAvg []float64
+	if c.Average {
+		wsum = make([]float64, d)
+		epochAvg = make([]float64, d)
+	}
+
+	models := make([][]float64, cfg.Workers)
+	avgs := make([][]float64, cfg.Workers)
+	counts := make([]int, cfg.Workers)
+	offsets := make([]int, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+
+	totalUpdates := 0
+	passes := 0
+	prevRisk := math.Inf(1)
+	for pass := 0; pass < c.Passes; pass++ {
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.Workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := sgd.Run(shards[i], sgd.Config{
+					Loss:    c.Loss,
+					Step:    c.Step,
+					Passes:  1,
+					Batch:   c.Batch,
+					Radius:  c.Radius,
+					Average: c.Average,
+					Rand:    rngs[i],
+					W0:      w,
+					T0:      offsets[i],
+				})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				models[i] = res.W
+				avgs[i] = res.WAvg
+				counts[i] = res.Updates
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Merge: uniform model averaging, the combine-function contract.
+		vec.Mean(w, models...)
+		epochUpdates := 0
+		for i := range counts {
+			offsets[i] += counts[i]
+			epochUpdates += counts[i]
+		}
+		totalUpdates += epochUpdates
+		if c.Average {
+			// Cross-shard average of the per-shard iterate averages,
+			// weighted into the running sum by the epoch's update count
+			// so the final WAvg is the uniform average over epochs.
+			vec.Mean(epochAvg, avgs...)
+			vec.Axpy(wsum, float64(epochUpdates), epochAvg)
+		}
+		passes++
+
+		if c.Tol > 0 {
+			risk := sgd.EmpiricalRisk(s, c.Loss, w)
+			if prevRisk-risk < c.Tol {
+				break
+			}
+			prevRisk = risk
+		}
+	}
+
+	out := &Result{
+		Result:      sgd.Result{W: w, Updates: totalUpdates, Passes: passes},
+		ShardModels: models,
+		Workers:     cfg.Workers,
+	}
+	if c.Average && totalUpdates > 0 {
+		vec.Scale(wsum, 1/float64(totalUpdates))
+		out.WAvg = wsum
+	}
+	return out, nil
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"boltondp/internal/engine"
 	"boltondp/internal/sgd"
 	"boltondp/internal/vec"
 )
@@ -94,6 +95,18 @@ func (b *BinaryView) At(i int) ([]float64, float64) {
 		return x, 1
 	}
 	return x, -1
+}
+
+// Shard implements engine.Sharder so the relabeling wrapper does not
+// hide an underlying source's concurrency-safe shard views: when the
+// wrapped source provides Shard, the view delegates to it; otherwise
+// it returns the engine's plain range view, exactly what the engine
+// would have built itself.
+func (b *BinaryView) Shard(lo, hi int) sgd.Samples {
+	if sh, ok := b.S.(engine.Sharder); ok {
+		return &BinaryView{S: sh.Shard(lo, hi), Class: b.Class}
+	}
+	return &BinaryView{S: engine.RangeView(b.S, lo, hi), Class: b.Class}
 }
 
 // BinaryTrainer trains one binary model on the given (already

@@ -73,7 +73,7 @@ func tuningGrid(strongly bool) []tuning.Params {
 //	"private" — Algorithm 3 over the §4.3 grid (Figures 6, 7, 9)
 //	"public"  — grid search scored on the public test set (Figures 3
 //	            companion protocol and Figure 8)
-func runTuned(train, test *data.Dataset, sc scenario, budget dp.Budget, algo string, huber bool, tuner string, scale float64, r *rand.Rand) (float64, error) {
+func runTuned(train, test *data.Dataset, sc scenario, budget dp.Budget, algo string, huber bool, tuner string, scale float64, workers int, r *rand.Rand) (float64, error) {
 	fit := func(part *data.Dataset, p tuning.Params) (eval.Classifier, error) {
 		lambda := compLambda(p.Lambda, scale)
 		if !sc.strongly {
@@ -81,7 +81,8 @@ func runTuned(train, test *data.Dataset, sc scenario, budget dp.Budget, algo str
 		}
 		f, radius := lossFor(sc.strongly, lambda, huber)
 		return classifierFor(part, trainSpec{
-			algo: algo, budget: budget, f: f, k: p.K, b: p.B, radius: radius, rand: r,
+			algo: algo, budget: budget, f: f, k: p.K, b: p.B, radius: radius,
+			workers: workers, rand: r,
 		})
 	}
 	switch tuner {
@@ -145,7 +146,7 @@ func accuracySweep(cfg Config, datasets []namedDataset, huber bool, tuner string
 					}
 					var acc float64
 					for rep := 0; rep < cfg.Repeats; rep++ {
-						a, err := runTuned(train, test, sc, budget, algo, huber, tuner, cfg.Scale, root)
+						a, err := runTuned(train, test, sc, budget, algo, huber, tuner, cfg.Scale, cfg.Workers, root)
 						if err != nil {
 							return fmt.Errorf("%s/%s/ε=%g/%s: %w", nd.name, sc.name, eps, algo, err)
 						}
@@ -254,7 +255,8 @@ func passSweep(cfg Config, strongly bool, batch int, passes []int) error {
 		for ei, eps := range grid {
 			acc, err := accuracyFor(train, test, trainSpec{
 				algo: "ours", budget: dp.Budget{Epsilon: eps},
-				f: f, k: k, b: batch, radius: radius, rand: root,
+				f: f, k: k, b: batch, radius: radius,
+				workers: cfg.Workers, rand: root,
 			})
 			if err != nil {
 				return err
@@ -289,7 +291,8 @@ func Fig4cBatchConvex(cfg Config) error {
 		for ei, eps := range grid {
 			acc, err := accuracyFor(train, test, trainSpec{
 				algo: "ours", budget: dp.Budget{Epsilon: eps},
-				f: f, k: 20, b: b, radius: radius, rand: root,
+				f: f, k: 20, b: b, radius: radius,
+				workers: cfg.Workers, rand: root,
 			})
 			if err != nil {
 				return err
@@ -337,7 +340,8 @@ func Fig10BatchSweep(cfg Config) error {
 			for ai, algo := range algoNames {
 				acc, err := accuracyFor(train, test, trainSpec{
 					algo: algo, budget: dp.Budget{Epsilon: eps, Delta: delta},
-					f: f, k: 10, b: b, radius: radius, rand: root,
+					f: f, k: 10, b: b, radius: radius,
+					workers: cfg.Workers, rand: root,
 				})
 				if err != nil {
 					return err

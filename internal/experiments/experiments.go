@@ -23,6 +23,7 @@ import (
 	"boltondp/internal/core"
 	"boltondp/internal/data"
 	"boltondp/internal/dp"
+	"boltondp/internal/engine"
 	"boltondp/internal/eval"
 	"boltondp/internal/loss"
 	"boltondp/internal/projection"
@@ -47,6 +48,11 @@ type Config struct {
 	// Useful for smoothing the small-ε regime, where a single noise
 	// draw dominates the plotted point.
 	Repeats int
+	// Workers > 1 runs every "ours" and "noiseless" training through
+	// the execution engine's Sharded strategy with this many workers
+	// (the white-box baselines stay sequential — they have no sharded
+	// analysis). Default 1: sequential, the paper's protocol.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -67,22 +73,24 @@ type Runner func(cfg Config) error
 
 // Registry maps experiment IDs (see DESIGN.md §3) to runners.
 var Registry = map[string]Runner{
-	"table2": Table2Convergence,
-	"table3": Table3Datasets,
-	"table4": Table4StepSizes,
-	"fig1":   Fig1Integration,
-	"fig2a":  Fig2ScalabilityMemory,
-	"fig2b":  Fig2ScalabilityDisk,
-	"fig3":   Fig3AccuracyPublic,
-	"fig4a":  Fig4aPassesConvex,
-	"fig4b":  Fig4bPassesStronglyConvex,
-	"fig4c":  Fig4cBatchConvex,
-	"fig5":   Fig5Runtime,
-	"fig6":   Fig6AccuracyPrivateTuning,
-	"fig7":   Fig7HuberSVM,
-	"fig8":   Fig8LargeDatasetsPublic,
-	"fig9":   Fig9LargeDatasetsPrivate,
-	"fig10":  Fig10BatchSweep,
+	"table2":  Table2Convergence,
+	"table3":  Table3Datasets,
+	"table4":  Table4StepSizes,
+	"fig1":    Fig1Integration,
+	"fig2a":   Fig2ScalabilityMemory,
+	"fig2b":   Fig2ScalabilityDisk,
+	"fig3":    Fig3AccuracyPublic,
+	"fig4a":   Fig4aPassesConvex,
+	"fig4b":   Fig4bPassesStronglyConvex,
+	"fig4c":   Fig4cBatchConvex,
+	"fig5":    Fig5Runtime,
+	"fig6":    Fig6AccuracyPrivateTuning,
+	"fig7":    Fig7HuberSVM,
+	"fig8":    Fig8LargeDatasetsPublic,
+	"fig9":    Fig9LargeDatasetsPrivate,
+	"fig10":   Fig10BatchSweep,
+	"scaling": ScalingSharded,
+	"stream":  StreamingOnline,
 }
 
 // IDs returns the registered experiment IDs in sorted order.
@@ -127,12 +135,22 @@ var scenarios = []scenario{
 
 // trainSpec bundles everything a single binary training run needs.
 type trainSpec struct {
-	algo   string // noiseless | ours | scs13 | bst14
-	budget dp.Budget
-	f      loss.Function
-	k, b   int
-	radius float64
-	rand   *rand.Rand
+	algo    string // noiseless | ours | scs13 | bst14
+	budget  dp.Budget
+	f       loss.Function
+	k, b    int
+	radius  float64
+	workers int // > 1 runs ours/noiseless under the sharded engine
+	rand    *rand.Rand
+}
+
+// strategyFor maps a worker count to the engine strategy trainBinary
+// passes down for the black-box algorithms.
+func strategyFor(workers int) engine.Strategy {
+	if workers > 1 {
+		return engine.Sharded
+	}
+	return engine.Sequential
 }
 
 // trainBinary runs one binary classifier training under the spec.
@@ -143,6 +161,7 @@ func trainBinary(s sgd.Samples, spec trainSpec) ([]float64, error) {
 	case "noiseless":
 		res, err := baselines.Noiseless(s, spec.f, baselines.Options{
 			Passes: spec.k, Batch: spec.b, Radius: spec.radius, Rand: spec.rand,
+			Strategy: strategyFor(spec.workers), Workers: spec.workers,
 		})
 		if err != nil {
 			return nil, err
@@ -152,6 +171,7 @@ func trainBinary(s sgd.Samples, spec trainSpec) ([]float64, error) {
 		res, err := core.Train(s, spec.f, core.Options{
 			Budget: spec.budget, Passes: spec.k, Batch: spec.b,
 			Radius: spec.radius, Rand: spec.rand,
+			Strategy: strategyFor(spec.workers), Workers: spec.workers,
 			// Figure parity: reproduce the paper's Δ₂ = 2L/(γmb)
 			// calibration (see dp.SensitivityStronglyConvex's note on
 			// why the library default differs).

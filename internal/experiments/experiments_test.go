@@ -22,6 +22,7 @@ func TestRegistryCoversDesignDoc(t *testing.T) {
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"ablation-steps", "ablation-averaging", "ablation-noise",
 		"ablation-freshperm",
+		"scaling", "stream",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -144,7 +145,7 @@ func TestMnistProjectedShapes(t *testing.T) {
 func TestRunTunedUnknownTuner(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	ds := data.Synthetic(r, data.GenConfig{Name: "t", M: 100, D: 3, Classes: 2, Spread: 0.4})
-	_, err := runTuned(ds, ds, scenarios[0], dp.Budget{Epsilon: 1}, "ours", false, "nope", 1, r)
+	_, err := runTuned(ds, ds, scenarios[0], dp.Budget{Epsilon: 1}, "ours", false, "nope", 1, 1, r)
 	if err == nil {
 		t.Error("unknown tuner accepted")
 	}

@@ -1,0 +1,120 @@
+package sgd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"boltondp/internal/loss"
+)
+
+// T0 must make two chained one-pass runs reproduce a single two-pass
+// run exactly: same permutation, same schedule positions, same model.
+func TestT0ContinuesSchedule(t *testing.T) {
+	m, d := 120, 4
+	s := randomSamples(t, m, d, 1)
+	f := loss.NewLogistic(1e-2, 0)
+	p := f.Params()
+	perm := rand.New(rand.NewSource(2)).Perm(m)
+
+	full, err := Run(s, Config{
+		Loss: f, Step: StronglyConvexPaper(p.Beta, p.Gamma),
+		Passes: 2, Batch: 5, Radius: 50, Perm: perm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := Run(s, Config{
+		Loss: f, Step: StronglyConvexPaper(p.Beta, p.Gamma),
+		Passes: 1, Batch: 5, Radius: 50, Perm: perm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(s, Config{
+		Loss: f, Step: StronglyConvexPaper(p.Beta, p.Gamma),
+		Passes: 1, Batch: 5, Radius: 50, Perm: perm,
+		W0: first.W, T0: first.Updates,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.W, second.W) {
+		t.Error("chained T0 runs differ from the single two-pass run")
+	}
+	if first.Updates != m/5 || second.Updates != m/5 {
+		t.Errorf("per-run updates %d/%d, want %d", first.Updates, second.Updates, m/5)
+	}
+	if full.Updates != first.Updates+second.Updates {
+		t.Errorf("full updates %d != %d + %d", full.Updates, first.Updates, second.Updates)
+	}
+}
+
+// NoPerm must equal an explicit identity permutation, work without a
+// Rand, and reject contradictory permutation settings.
+func TestNoPerm(t *testing.T) {
+	m, d := 90, 3
+	s := randomSamples(t, m, d, 3)
+	f := loss.NewLogistic(1e-2, 0)
+	p := f.Params()
+	ident := make([]int, m)
+	for i := range ident {
+		ident[i] = i
+	}
+	want, err := Run(s, Config{
+		Loss: f, Step: StronglyConvexPaper(p.Beta, p.Gamma),
+		Passes: 1, Batch: 4, Radius: 50, Perm: ident,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(s, Config{
+		Loss: f, Step: StronglyConvexPaper(p.Beta, p.Gamma),
+		Passes: 1, Batch: 4, Radius: 50, NoPerm: true, // no Rand
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.W, got.W) {
+		t.Error("NoPerm differs from the identity permutation")
+	}
+
+	if _, err := Run(s, Config{
+		Loss: f, Step: Constant(0.1), Passes: 1, NoPerm: true, Perm: ident,
+	}); err == nil {
+		t.Error("NoPerm+Perm accepted")
+	}
+	if _, err := Run(s, Config{
+		Loss: f, Step: Constant(0.1), Passes: 1, NoPerm: true, FreshPerm: true,
+		Rand: rand.New(rand.NewSource(1)),
+	}); err == nil {
+		t.Error("NoPerm+FreshPerm accepted")
+	}
+	if _, err := Run(s, Config{
+		Loss: f, Step: Constant(0.1), Passes: 1, Perm: ident, T0: -1,
+	}); err == nil {
+		t.Error("negative T0 accepted")
+	}
+}
+
+// randomSamples builds a deterministic unit-ball SliceSamples set.
+func randomSamples(t *testing.T, m, d int, seed int64) *SliceSamples {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	s := &SliceSamples{X: make([][]float64, m), Y: make([]float64, m)}
+	for i := 0; i < m; i++ {
+		x := make([]float64, d)
+		var norm float64
+		for j := range x {
+			x[j] = r.NormFloat64()
+			norm += x[j] * x[j]
+		}
+		for j := range x {
+			x[j] /= 1 + norm
+		}
+		s.X[i] = x
+		s.Y[i] = float64(2*r.Intn(2) - 1)
+	}
+	return s
+}

@@ -97,8 +97,25 @@ type Config struct {
 	// neighboring datasets (Lemma 5's "randomness one at a time").
 	Perm []int
 
+	// NoPerm processes rows in their natural order 0..m-1 instead of a
+	// sampled permutation — the streaming mode of the execution engine
+	// (internal/engine). No permutation array is materialized, so a
+	// single pass over a lazily generated source (data.Stream) runs in
+	// O(d) memory, and Rand becomes optional. The sensitivity bounds
+	// hold for any fixed ordering (they are worst-case over the
+	// differing index's position); only the convergence analysis relies
+	// on the ordering being random, which streaming sources provide by
+	// construction. Incompatible with Perm and FreshPerm.
+	NoPerm bool
+
+	// T0 offsets the 1-based update counter: the first update of this
+	// run is numbered T0+1, so Step.Eta and GradNoise see the global
+	// counter. The sharded engine uses it to continue a step-size
+	// schedule seamlessly across per-epoch Run calls.
+	T0 int
+
 	// Rand is the randomness source for permutations. Required unless
-	// Perm is given and FreshPerm is false.
+	// Perm is given (and FreshPerm is off) or NoPerm is set.
 	Rand *rand.Rand
 
 	// GradNoise, if non-nil, is called with the 1-based update counter
@@ -137,7 +154,13 @@ func (c *Config) validate(m int) error {
 	if c.Perm != nil && len(c.Perm) != m {
 		return fmt.Errorf("sgd: Perm has length %d, want %d", len(c.Perm), m)
 	}
-	if c.Rand == nil && (c.Perm == nil || c.FreshPerm) {
+	if c.NoPerm && (c.Perm != nil || c.FreshPerm) {
+		return errors.New("sgd: NoPerm is incompatible with Perm and FreshPerm")
+	}
+	if c.T0 < 0 {
+		return fmt.Errorf("sgd: T0 must be >= 0, got %d", c.T0)
+	}
+	if c.Rand == nil && !c.NoPerm && (c.Perm == nil || c.FreshPerm) {
 		return errors.New("sgd: Rand is required when permutations must be sampled")
 	}
 	if c.AverageTail && c.Average {
@@ -196,7 +219,7 @@ func Run(s Samples, cfg Config) (*Result, error) {
 	}
 
 	perm := cfg.Perm
-	if perm == nil {
+	if perm == nil && !cfg.NoPerm {
 		perm = cfg.Rand.Perm(m)
 	}
 
@@ -218,8 +241,9 @@ func Run(s Samples, cfg Config) (*Result, error) {
 	if updatesPerPass < 1 {
 		updatesPerPass = 1
 	}
-	// Tail averaging covers the last ⌈ln T⌉ of the T planned updates.
-	total := cfg.Passes * updatesPerPass
+	// Tail averaging covers the last ⌈ln T⌉ of the T planned updates
+	// (counted globally when a T0 offset is in play).
+	total := cfg.T0 + cfg.Passes*updatesPerPass
 	tailFrom := 0
 	tailCount := 0
 	if cfg.AverageTail {
@@ -230,7 +254,7 @@ func Run(s Samples, cfg Config) (*Result, error) {
 		tailFrom = total - n + 1
 	}
 
-	t := 0
+	t := cfg.T0
 	passes := 0
 	prevRisk := math.Inf(1)
 	for pass := 0; pass < cfg.Passes; pass++ {
@@ -245,7 +269,11 @@ func Run(s Samples, cfg Config) (*Result, error) {
 			}
 			vec.Zero(grad)
 			for i := start; i < end; i++ {
-				x, y := s.At(perm[i])
+				idx := i
+				if perm != nil {
+					idx = perm[i]
+				}
+				x, y := s.At(idx)
 				cfg.Loss.Grad(gbuf, w, x, y)
 				vec.Axpy(grad, 1, gbuf)
 			}
@@ -273,9 +301,9 @@ func Run(s Samples, cfg Config) (*Result, error) {
 		}
 	}
 
-	res := &Result{W: w, Updates: t, Passes: passes}
+	res := &Result{W: w, Updates: t - cfg.T0, Passes: passes}
 	if cfg.Average {
-		vec.Scale(wsum, 1/float64(t))
+		vec.Scale(wsum, 1/float64(t-cfg.T0))
 		res.WAvg = wsum
 	} else if cfg.AverageTail && tailCount > 0 {
 		vec.Scale(wsum, 1/float64(tailCount))

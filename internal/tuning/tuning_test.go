@@ -8,6 +8,7 @@ import (
 	"boltondp/internal/core"
 	"boltondp/internal/data"
 	"boltondp/internal/dp"
+	"boltondp/internal/engine"
 	"boltondp/internal/eval"
 	"boltondp/internal/loss"
 )
@@ -196,5 +197,39 @@ func TestPrivateTuningWithPrivateSGD(t *testing.T) {
 	}
 	if acc := eval.Accuracy(d, res.Model); acc < 0.6 {
 		t.Errorf("tuned private model accuracy %v on easy data", acc)
+	}
+}
+
+// EngineTrainFunc must route every grid candidate through core.Train —
+// and therefore the execution engine — honoring the strategy and
+// worker count of the base options, and apply the R = 1/λ convention.
+func TestEngineTrainFunc(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	d := data.Synthetic(r, data.GenConfig{Name: "t", M: 4200, D: 4, Classes: 2, Spread: 0.3, Flip: 0.01})
+	budget := dp.Budget{Epsilon: 2}
+
+	for _, workers := range []int{1, 3} {
+		base := core.Options{Budget: budget, Workers: workers, Rand: r}
+		if workers > 1 {
+			base.Strategy = engine.Sharded
+		}
+		fit := EngineTrainFunc(func(lambda float64) loss.Function {
+			return loss.NewLogistic(lambda, 0)
+		}, base)
+		res, err := Private(d, PaperGrid(), budget, fit, r)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if acc := eval.Accuracy(d, res.Model); acc < 0.6 {
+			t.Errorf("workers=%d: tuned engine model accuracy %v on easy data", workers, acc)
+		}
+	}
+
+	// A candidate failure must surface with the tuple attached: workers
+	// exceeding the portion size make core reject the run.
+	base := core.Options{Budget: budget, Strategy: engine.Sharded, Workers: 10000, Rand: r}
+	fit := EngineTrainFunc(func(lambda float64) loss.Function { return loss.NewLogistic(lambda, 0) }, base)
+	if _, err := Private(d, PaperGrid(), budget, fit, r); err == nil {
+		t.Error("oversized worker count did not error")
 	}
 }
