@@ -47,6 +47,19 @@ type (
 	Budget = dp.Budget
 	// Samples is the read-only training-set view every trainer accepts.
 	Samples = sgd.Samples
+	// SparseSamples is the second tier of the data contract: sources
+	// that hand out rows in sparse coordinate form. Trainers detect it
+	// automatically and run the sparse-native kernel (O(nnz) per
+	// example) whenever the loss supports it — implementing it is purely
+	// an optimization, never a requirement.
+	SparseSamples = sgd.SparseSamples
+	// SparseDataset is a CSR-form labeled dataset implementing
+	// SparseSamples — the right representation for one-hot-heavy and
+	// text-like data.
+	SparseDataset = data.SparseDataset
+	// SparseStream is a lazily generated sparse dataset: rows are
+	// derived from (seed, index) on access and never materialized.
+	SparseStream = data.SparseStream
 	// LossFunction is a convex per-example loss with its (L, β, γ)
 	// constants.
 	LossFunction = loss.Function
@@ -218,6 +231,27 @@ func PublicTune(train, public *Dataset, grid []TuningParams, fit tuning.TrainFun
 
 // LoadLIBSVM reads a LIBSVM/SVMlight format file.
 func LoadLIBSVM(path string, dim int) (*Dataset, error) { return data.LoadLIBSVM(path, dim) }
+
+// LoadLIBSVMSparse reads a LIBSVM file directly into CSR form without
+// materializing dense rows — the right loader for high-dimensional
+// sparse data; training on the result automatically uses the
+// sparse-native kernel.
+func LoadLIBSVMSparse(path string, dim int) (*SparseDataset, error) {
+	return data.LoadLIBSVMSparse(path, dim)
+}
+
+// KDDSimSparse generates the KDDCup-99 simulation in its natural
+// one-hot sparse encoding (~10% density, d = 122); see DESIGN.md §4.
+func KDDSimSparse(r *rand.Rand, scale float64) (train, test *SparseDataset) {
+	return data.KDDSimSparse(r, scale)
+}
+
+// NewSparseStream builds a deterministic two-class sparse streaming
+// dataset: m rows in d dimensions with nnz active coordinates each,
+// regenerated from (seed, i) on every access.
+func NewSparseStream(seed int64, m, d, nnz int, flip float64) *SparseStream {
+	return data.NewSparseStream(seed, m, d, nnz, flip)
+}
 
 // MNISTSim, ProteinSim, CovtypeSim, HIGGSSim and KDDSim generate the
 // paper's benchmark datasets (simulated; see DESIGN.md §4) at the given

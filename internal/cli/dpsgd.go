@@ -16,6 +16,7 @@ import (
 	"boltondp/internal/engine"
 	"boltondp/internal/eval"
 	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
 )
 
 // DPSGDConfig is the parsed command line of cmd/dpsgd.
@@ -72,27 +73,52 @@ var simGenerators = map[string]func(*rand.Rand, float64) (*data.Dataset, *data.D
 	"kdd":     data.KDDSim,
 }
 
+// sparseDensityThreshold routes -data files through the CSR
+// representation (and with it the engine's sparse kernel) when their
+// density is below this fraction. LIBSVM is a sparse on-disk format,
+// so the density is known before any dense row is materialized; above
+// the threshold CSR indices cost more than they save.
+const sparseDensityThreshold = 0.25
+
 // RunDPSGD executes a parsed config, writing the report to out.
 func RunDPSGD(cfg *DPSGDConfig, out io.Writer) error {
 	r := rand.New(rand.NewSource(cfg.Seed))
 
-	var train, test *data.Dataset
+	var train, test sgd.Samples
+	classes := 2
 	switch {
 	case cfg.DataPath != "":
-		full, err := data.LoadLIBSVM(cfg.DataPath, 0)
+		// Always parse into CSR first: the sparse loader never
+		// materializes a dense row, so the density decides the
+		// representation before any O(m·d) cost is paid.
+		full, err := data.LoadLIBSVMSparse(cfg.DataPath, 0)
 		if err != nil {
 			return err
 		}
 		full.Normalize()
-		train, test = full.Split(r, 0.8)
+		classes = full.Classes
+		if den := full.Density(); den < sparseDensityThreshold {
+			fmt.Fprintf(out, "data: density %.4f < %.2f — using the sparse execution kernel\n",
+				den, sparseDensityThreshold)
+			train, test = full.Split(r, 0.8)
+		} else {
+			fmt.Fprintf(out, "data: density %.4f ≥ %.2f — materializing dense rows\n",
+				den, sparseDensityThreshold)
+			// Same Split randomness either way: the partition is
+			// representation-independent.
+			trainSp, testSp := full.Split(r, 0.8)
+			train, test = trainSp.ToDense(), testSp.ToDense()
+		}
 	default:
 		gen := simGenerators[cfg.Sim]
 		if gen == nil {
 			return fmt.Errorf("cli: unknown simulator %q", cfg.Sim)
 		}
-		train, test = gen(r, cfg.Scale)
+		trainDs, testDs := gen(r, cfg.Scale)
+		classes = trainDs.Classes
+		train, test = trainDs, testDs
 	}
-	if train.Classes > 2 {
+	if classes > 2 {
 		return fmt.Errorf("cli: multiclass training is not supported here; see examples/multiclass")
 	}
 

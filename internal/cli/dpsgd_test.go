@@ -202,3 +202,54 @@ func TestRunDPSGDFromLIBSVMFile(t *testing.T) {
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
+
+// A low-density LIBSVM file must route through the CSR representation
+// (and report doing so); the dense 2-feature file above stays dense.
+func TestRunDPSGDSparseRouting(t *testing.T) {
+	dir := t.TempDir()
+	sparsePath := filepath.Join(dir, "sparse.libsvm")
+	var b strings.Builder
+	for i := 0; i < 120; i++ {
+		// 2 of 50 features per row → density 0.04, well under threshold.
+		if i%2 == 0 {
+			b.WriteString("1 3:0.8 50:0.1\n")
+		} else {
+			b.WriteString("-1 7:-0.8 50:0.1\n")
+		}
+	}
+	if err := writeFile(sparsePath, b.String()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runQuick(t, func(c *DPSGDConfig) {
+		c.DataPath = sparsePath
+		c.Eps = 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "using the sparse execution kernel") {
+		t.Errorf("sparse routing not reported: %q", out)
+	}
+	if !strings.Contains(out, "d=50") || !strings.Contains(out, "test  accuracy:") {
+		t.Errorf("sparse run output: %q", out)
+	}
+
+	densePath := filepath.Join(dir, "dense.libsvm")
+	b.Reset()
+	for i := 0; i < 40; i++ {
+		b.WriteString("1 1:0.5 2:0.5 3:0.5\n-1 1:-0.5 2:0.5 3:-0.5\n")
+	}
+	if err := writeFile(densePath, b.String()); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runQuick(t, func(c *DPSGDConfig) {
+		c.DataPath = densePath
+		c.Eps = 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "materializing dense rows") {
+		t.Errorf("dense routing not reported: %q", out)
+	}
+}

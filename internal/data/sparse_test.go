@@ -161,6 +161,212 @@ func TestSparseSyntheticPanics(t *testing.T) {
 	SparseSynthetic(r, 10, 5, 6, 0)
 }
 
+// Shapes whose class-correlated draws cannot fit in one half of the
+// index space must be rejected up front — the generation loop would
+// otherwise spin forever rejecting duplicates.
+func TestSparseGeneratorsRejectOverfullHalf(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: nnz/2+1 > dim/2 accepted", name)
+			}
+		}()
+		f()
+	}
+	r := rand.New(rand.NewSource(4))
+	mustPanic("SparseSynthetic", func() { SparseSynthetic(r, 10, 3, 2, 0) })
+	mustPanic("NewSparseStream", func() { NewSparseStream(1, 10, 4, 4, 0) })
+}
+
+func TestAtSparseMatchesAt(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	d := SparseSynthetic(r, 200, 50, 5, 0)
+	for i := 0; i < d.Len(); i++ {
+		dense, dy := d.At(i)
+		dc := make([]float64, len(dense))
+		copy(dc, dense) // At and AtSparse share the receiver's buffers
+		row, sy := d.AtSparse(i)
+		if sy != dy {
+			t.Fatalf("row %d label %v vs %v", i, sy, dy)
+		}
+		back := make([]float64, d.Dim())
+		row.Scatter(back)
+		if !vec.Equal(dc, back, 0) {
+			t.Fatalf("row %d sparse/dense mismatch", i)
+		}
+	}
+}
+
+// AtSparse must hand out views without allocating — the property the
+// sparse kernel's 0 allocs/op guarantee rests on.
+func TestAtSparseDoesNotAllocate(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	d := SparseSynthetic(r, 64, 50, 5, 0)
+	sh := d.Shard(0, 32).(sgd.SparseSamples)
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		d.AtSparse(i)
+		sh.AtSparse(i % 32)
+		i = (i + 1) % 64
+	})
+	if allocs > 0 {
+		t.Errorf("AtSparse allocates %v per call", allocs)
+	}
+}
+
+func TestSparseShardAtSparse(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	d := SparseSynthetic(r, 100, 30, 4, 0)
+	sh := d.Shard(20, 60).(sgd.SparseSamples)
+	for i := 0; i < 40; i++ {
+		want, wy := d.Row(20 + i)
+		got, gy := sh.AtSparse(i)
+		if gy != wy || got.NNZ() != want.NNZ() {
+			t.Fatalf("shard row %d mismatch", i)
+		}
+		for k := range want.Idx {
+			if got.Idx[k] != want.Idx[k] || got.Val[k] != want.Val[k] {
+				t.Fatalf("shard row %d coord %d mismatch", i, k)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shard overrun not caught")
+		}
+	}()
+	sh.AtSparse(40)
+}
+
+func TestToDenseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	sp := SparseSynthetic(r, 150, 40, 6, 0.02)
+	de := sp.ToDense()
+	if de.Len() != sp.Len() || de.Dim() != sp.Dim() || de.Classes != sp.Classes {
+		t.Fatalf("shape %dx%d classes %d", de.Len(), de.Dim(), de.Classes)
+	}
+	back := FromDense(de)
+	for i := 0; i < sp.Len(); i++ {
+		a, ay := sp.Row(i)
+		b, by := back.Row(i)
+		if ay != by || a.NNZ() != b.NNZ() {
+			t.Fatalf("row %d changed through the round trip", i)
+		}
+	}
+}
+
+// Split must consume the same randomness as Dataset.Split so sparse
+// and dense CLI runs with one seed see identical partitions.
+func TestSparseSplitMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	sp := SparseSynthetic(r, 120, 25, 4, 0)
+	de := sp.ToDense()
+	sTr, sTe := sp.Split(rand.New(rand.NewSource(5)), 0.75)
+	dTr, dTe := de.Split(rand.New(rand.NewSource(5)), 0.75)
+	if sTr.Len() != dTr.Len() || sTe.Len() != dTe.Len() {
+		t.Fatalf("split sizes differ: %d/%d vs %d/%d", sTr.Len(), sTe.Len(), dTr.Len(), dTe.Len())
+	}
+	for i := 0; i < sTr.Len(); i++ {
+		sx, sy := sTr.At(i)
+		dx, dy := dTr.At(i)
+		if sy != dy || !vec.Equal(sx, dx, 0) {
+			t.Fatalf("train row %d differs across representations", i)
+		}
+	}
+}
+
+func TestKDDSimSparse(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	train, test := KDDSimSparse(r, 0.01)
+	if train.Len() < 400 || test.Len() < 40 {
+		t.Fatalf("sizes %d/%d", train.Len(), test.Len())
+	}
+	if train.Dim() != 122 {
+		t.Errorf("dim %d, want 122", train.Dim())
+	}
+	den := train.Density()
+	if den < 0.05 || den > 0.15 {
+		t.Errorf("density %v, want ≈0.10", den)
+	}
+	for i := 0; i < train.Len(); i++ {
+		row, y := train.Row(i)
+		if row.Norm() > 1+1e-12 {
+			t.Fatalf("row %d norm %v", i, row.Norm())
+		}
+		if y != 1 && y != -1 {
+			t.Fatalf("label %v", y)
+		}
+	}
+	// The workload must be learnable: a noiseless sparse run separates it.
+	f := loss.NewLogistic(1e-2, 0)
+	p := f.Params()
+	res, err := sgd.Run(train, sgd.Config{
+		Loss: f, Step: sgd.StronglyConvexPaper(p.Beta, p.Gamma),
+		Passes: 3, Batch: 10, Radius: 100, Rand: r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < test.Len(); i++ {
+		row, y := test.AtSparse(i)
+		if math.Copysign(1, row.Dot(res.W)) == y {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(test.Len()); acc < 0.9 {
+		t.Errorf("test accuracy %v on the near-separable workload", acc)
+	}
+}
+
+func TestSparseStreamDeterminismAndSharding(t *testing.T) {
+	s := NewSparseStream(3, 200, 500, 25, 0.01)
+	// Row regeneration is deterministic.
+	r1, y1 := s.AtSparse(17)
+	idx := append([]int(nil), r1.Idx...)
+	val := append([]float64(nil), r1.Val...)
+	r2, y2 := s.AtSparse(17)
+	if y1 != y2 || r2.NNZ() != len(idx) {
+		t.Fatal("row 17 not deterministic")
+	}
+	for k := range idx {
+		if r2.Idx[k] != idx[k] || r2.Val[k] != val[k] {
+			t.Fatal("row 17 coordinates not deterministic")
+		}
+	}
+	if r1.NNZ() != 25 {
+		t.Errorf("NNZ %d, want 25", r1.NNZ())
+	}
+	if n := r1.Norm(); n > 1+1e-12 {
+		t.Errorf("row norm %v", n)
+	}
+	// Shards preserve global row identity and stay in range.
+	sh := s.Shard(100, 150).(sgd.SparseSamples)
+	rowS, yS := sh.AtSparse(3)
+	rowG, yG := s.AtSparse(103)
+	if yS != yG || rowS.NNZ() != rowG.NNZ() {
+		t.Fatal("shard row 3 != stream row 103")
+	}
+	// At and AtSparse agree.
+	dense, dy := s.At(42)
+	row, sy := s.AtSparse(42)
+	if dy != sy {
+		t.Fatal("At/AtSparse label mismatch")
+	}
+	back := make([]float64, s.Dim())
+	row.Scatter(back)
+	if !vec.Equal(dense, back, 0) {
+		t.Fatal("At/AtSparse row mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shard overrun not caught")
+		}
+	}()
+	sh.AtSparse(50)
+}
+
 // A SparseDataset must plug directly into the private trainer — the
 // whole point of implementing sgd.Samples.
 func TestSparseDatasetTrainsPrivately(t *testing.T) {

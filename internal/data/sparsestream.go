@@ -1,0 +1,181 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"boltondp/internal/sgd"
+	"boltondp/internal/vec"
+)
+
+// SparseStream is the sparse analogue of Stream: a lazily generated
+// high-dimensional dataset whose rows are derived deterministically
+// from (Seed, index) on every access and never materialized. Each row
+// activates NNZ of D coordinates — the text/log workloads the sparse
+// kernel exists for, at sizes where even CSR storage would not fit.
+//
+// SparseStream implements both tiers of the engine contract: AtSparse
+// generates the row in coordinate form at O(NNZ·log NNZ) (the dominant
+// training path), and At scatters it into a dense scratch for dense
+// consumers. Like Stream, one SparseStream must not be shared across
+// concurrent runs; Shard hands out independently buffered views.
+type SparseStream struct {
+	Seed int64
+	M    int
+	D    int
+	// NNZ is the number of active coordinates per row.
+	NNZ int
+	// Flip is the label noise probability.
+	Flip float64
+
+	buf     rowBuf
+	scratch []float64
+}
+
+// rowBuf holds the per-view row generation state.
+type rowBuf struct {
+	row vec.Sparse
+	idx []int
+	val []float64
+}
+
+// NewSparseStream builds a deterministic two-class sparse stream.
+// Class +1 draws its first NNZ/2+1 coordinates from the low half of
+// the index space and class −1 from the high half (the class signal),
+// with the remainder uniform — the same structure as SparseSynthetic,
+// but lazily generated.
+func NewSparseStream(seed int64, m, d, nnz int, flip float64) *SparseStream {
+	if m < 1 || d < 2 || nnz < 1 || nnz > d {
+		panic(fmt.Sprintf("data: bad SparseStream shape m=%d d=%d nnz=%d", m, d, nnz))
+	}
+	if nnz/2+1 > d/2 {
+		// The first nnz/2+1 draws come from one half of the index space;
+		// a half smaller than that would make the rejection loop in
+		// atSparse spin forever.
+		panic(fmt.Sprintf("data: SparseStream needs nnz/2+1 ≤ d/2, got nnz=%d d=%d", nnz, d))
+	}
+	return &SparseStream{Seed: seed, M: m, D: d, NNZ: nnz, Flip: flip}
+}
+
+// Len implements sgd.Samples.
+func (s *SparseStream) Len() int { return s.M }
+
+// Dim implements sgd.Samples.
+func (s *SparseStream) Dim() int { return s.D }
+
+// AtSparse implements sgd.SparseSamples, regenerating row i
+// deterministically. The returned vector is valid until the next
+// AtSparse or At call on this receiver.
+func (s *SparseStream) AtSparse(i int) (*vec.Sparse, float64) {
+	return s.atSparse(i, &s.buf)
+}
+
+// At implements sgd.Samples via AtSparse plus a scatter.
+func (s *SparseStream) At(i int) ([]float64, float64) {
+	if s.scratch == nil {
+		s.scratch = make([]float64, s.D)
+	}
+	row, y := s.AtSparse(i)
+	row.Scatter(s.scratch)
+	return s.scratch, y
+}
+
+// atSparse regenerates row i into the given buffer, so independent
+// shard views can scan concurrently.
+func (s *SparseStream) atSparse(i int, b *rowBuf) (*vec.Sparse, float64) {
+	if i < 0 || i >= s.M {
+		panic(fmt.Sprintf("data: stream row %d out of range [0,%d)", i, s.M))
+	}
+	r := rand.New(rand.NewSource(mix(s.Seed, int64(i))))
+	label := 1.0
+	if r.Intn(2) == 0 {
+		label = -1
+	}
+	if b.idx == nil {
+		b.idx = make([]int, 0, s.NNZ)
+		b.val = make([]float64, 0, s.NNZ)
+	}
+	b.idx = b.idx[:0]
+	b.val = b.val[:0]
+	half := s.D / 2
+	for len(b.idx) < s.NNZ {
+		var ix int
+		if len(b.idx) < s.NNZ/2+1 {
+			if label > 0 {
+				ix = r.Intn(half)
+			} else {
+				ix = half + r.Intn(s.D-half)
+			}
+		} else {
+			ix = r.Intn(s.D)
+		}
+		// Reject duplicates by sorted insertion — NNZ is small, so the
+		// binary search + shift beats a map and never allocates.
+		p := sort.SearchInts(b.idx, ix)
+		if p < len(b.idx) && b.idx[p] == ix {
+			continue
+		}
+		b.idx = append(b.idx, 0)
+		b.val = append(b.val, 0)
+		copy(b.idx[p+1:], b.idx[p:])
+		copy(b.val[p+1:], b.val[p:])
+		b.idx[p] = ix
+		b.val[p] = 0.5 + r.Float64()
+	}
+	b.row.Idx = b.idx
+	b.row.Val = b.val
+	if n := b.row.Norm(); n > 1 {
+		b.row.Scale(1 / n)
+	}
+	y := label
+	if s.Flip > 0 && r.Float64() < s.Flip {
+		y = -y
+	}
+	return &b.row, y
+}
+
+// Shard implements engine.Sharder: an independent view of rows
+// [lo, hi) with its own buffers. Rows keep their global identity —
+// shard row i is stream row lo+i, derived from (Seed, lo+i) exactly as
+// through AtSparse.
+func (s *SparseStream) Shard(lo, hi int) sgd.Samples {
+	if lo < 0 || hi < lo || hi > s.M {
+		panic(fmt.Sprintf("data: shard [%d,%d) out of bounds for %d rows", lo, hi, s.M))
+	}
+	return &sparseStreamShard{s: s, lo: lo, hi: hi}
+}
+
+type sparseStreamShard struct {
+	s       *SparseStream
+	lo, hi  int
+	buf     rowBuf
+	scratch []float64
+}
+
+func (v *sparseStreamShard) Len() int { return v.hi - v.lo }
+func (v *sparseStreamShard) Dim() int { return v.s.D }
+
+func (v *sparseStreamShard) AtSparse(i int) (*vec.Sparse, float64) {
+	if i < 0 || i >= v.hi-v.lo {
+		// Shard disjointness backs the /P sensitivity division; fail
+		// loudly on interior overruns (see streamShard).
+		panic(fmt.Sprintf("data: shard row %d out of range [0,%d)", i, v.hi-v.lo))
+	}
+	return v.s.atSparse(v.lo+i, &v.buf)
+}
+
+func (v *sparseStreamShard) At(i int) ([]float64, float64) {
+	if v.scratch == nil {
+		v.scratch = make([]float64, v.s.D)
+	}
+	row, y := v.AtSparse(i)
+	row.Scatter(v.scratch)
+	return v.scratch, y
+}
+
+// Shard keeps views shardable in turn, translating to parent
+// coordinates so sharded runs over a row-range view stay race-free.
+func (v *sparseStreamShard) Shard(lo, hi int) sgd.Samples {
+	return v.s.Shard(v.lo+lo, v.lo+hi)
+}

@@ -35,6 +35,15 @@
 // and computes no sensitivities. internal/core calibrates the noise to
 // the strategy it selects; the engine's job is to make the execution
 // shape a run-time choice instead of a fork of the training loop.
+//
+// The engine is also representation-blind: every strategy funnels into
+// sgd.Run, which executes on the sparse-native kernel whenever the
+// source implements sgd.SparseSamples and the loss factors through
+// loss.Linear. Shard views preserve the source's tier (Sharder
+// implementations hand out sparse views; RangeView wraps sparse
+// sources in sparse views), so Sequential, Sharded and Streaming all
+// take the same fast path on the same data — pinned per strategy by
+// the sparse-vs-dense parity tests.
 package engine
 
 import (
@@ -241,9 +250,16 @@ func shardView(s sgd.Samples, lo, hi int) sgd.Samples {
 // view of [lo, hi). It is what the engine builds for sources without a
 // Sharder implementation; wrappers that relabel or restrict another
 // source (eval.BinaryView) reuse it rather than duplicating the type.
+//
+// The view preserves the source's tier: when the wrapped source
+// implements sgd.SparseSamples, so does the view, so restricting a
+// sparse source never silently demotes a run to the dense kernel.
 func RangeView(s sgd.Samples, lo, hi int) sgd.Samples {
 	if lo < 0 || hi < lo || hi > s.Len() {
 		panic(fmt.Sprintf("engine: range view [%d,%d) out of bounds for %d rows", lo, hi, s.Len()))
+	}
+	if ss, ok := s.(sgd.SparseSamples); ok {
+		return &sparseRangeView{rangeView{s: s, lo: lo, hi: hi}, ss}
 	}
 	return &rangeView{s: s, lo: lo, hi: hi}
 }
@@ -260,6 +276,21 @@ func (v *rangeView) At(i int) ([]float64, float64) {
 		panic(fmt.Sprintf("engine: view row %d out of range [0,%d)", i, v.hi-v.lo))
 	}
 	return v.s.At(v.lo + i)
+}
+
+// sparseRangeView is RangeView's second-tier variant: a separate type
+// rather than an always-present method, so a type assertion on
+// sgd.SparseSamples stays truthful about the underlying source.
+type sparseRangeView struct {
+	rangeView
+	ss sgd.SparseSamples
+}
+
+func (v *sparseRangeView) AtSparse(i int) (*vec.Sparse, float64) {
+	if i < 0 || i >= v.hi-v.lo {
+		panic(fmt.Sprintf("engine: view row %d out of range [0,%d)", i, v.hi-v.lo))
+	}
+	return v.ss.AtSparse(v.lo + i)
 }
 
 func runSharded(s sgd.Samples, cfg Config) (*Result, error) {

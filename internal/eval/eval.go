@@ -21,6 +21,16 @@ type Classifier interface {
 	Predict(x []float64) float64
 }
 
+// SparseClassifier is the second tier of the scoring contract: a
+// classifier that can score a sparse row directly. Both classifiers in
+// this package implement it; the scoring helpers (Accuracy, Errors,
+// ConfusionMatrix) dispatch on it so sparse test sets are scored with
+// one O(nnz) row visit — all class margins included — instead of
+// scattering each row into a dense buffer first.
+type SparseClassifier interface {
+	PredictSparse(x *vec.Sparse) float64
+}
+
 // Linear is a binary linear classifier: Predict(x) = sign(⟨w, x⟩).
 type Linear struct {
 	W []float64
@@ -29,6 +39,14 @@ type Linear struct {
 // Predict implements Classifier. Ties (exactly zero score) go to +1.
 func (l *Linear) Predict(x []float64) float64 {
 	if vec.Dot(l.W, x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// PredictSparse implements SparseClassifier with the same tie rule.
+func (l *Linear) PredictSparse(x *vec.Sparse) float64 {
+	if x.Dot(l.W) >= 0 {
 		return 1
 	}
 	return -1
@@ -51,6 +69,19 @@ func (m *OneVsAll) Predict(x []float64) float64 {
 	return float64(best)
 }
 
+// PredictSparse implements SparseClassifier: every class margin is
+// computed from the single sparse row visit, at O(classes·nnz) total —
+// the multiclass scoring path never re-densifies a row per class.
+func (m *OneVsAll) PredictSparse(x *vec.Sparse) float64 {
+	best, bestScore := 0, math.Inf(-1)
+	for c, w := range m.W {
+		if s := x.Dot(w); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return float64(best)
+}
+
 // Accuracy returns the fraction of examples in s that c classifies
 // correctly.
 func Accuracy(s sgd.Samples, c Classifier) float64 {
@@ -62,9 +93,19 @@ func Accuracy(s sgd.Samples, c Classifier) float64 {
 }
 
 // Errors returns the number of misclassified examples — the χ_i
-// statistic of the private tuning Algorithm 3, line 4.
+// statistic of the private tuning Algorithm 3, line 4. Sparse sources
+// are scored through the sparse tier when the classifier supports it.
 func Errors(s sgd.Samples, c Classifier) int {
 	wrong := 0
+	if ss, sc, ok := sparseScoring(s, c); ok {
+		for i := 0; i < ss.Len(); i++ {
+			x, y := ss.AtSparse(i)
+			if sc.PredictSparse(x) != y {
+				wrong++
+			}
+		}
+		return wrong
+	}
 	for i := 0; i < s.Len(); i++ {
 		x, y := s.At(i)
 		if c.Predict(x) != y {
@@ -74,12 +115,40 @@ func Errors(s sgd.Samples, c Classifier) int {
 	return wrong
 }
 
+// sparseScoring reports whether the (source, classifier) pair supports
+// the sparse scoring tier.
+func sparseScoring(s sgd.Samples, c Classifier) (sgd.SparseSamples, SparseClassifier, bool) {
+	ss, ok := s.(sgd.SparseSamples)
+	if !ok {
+		return nil, nil, false
+	}
+	sc, ok := c.(SparseClassifier)
+	if !ok {
+		return nil, nil, false
+	}
+	return ss, sc, true
+}
+
 // BinaryView exposes a multiclass sample set as the binary
 // one-vs-all problem for a single class: the label is +1 where the
 // underlying label equals Class and −1 elsewhere.
+//
+// Construct views with NewBinaryView when the source may be sparse:
+// the constructor preserves the source's access tier, so per-class
+// training over a sparse multiclass set runs on the sparse kernel
+// instead of re-densifying every row once per class.
 type BinaryView struct {
 	S     sgd.Samples
 	Class float64
+}
+
+// NewBinaryView builds the one-vs-all view for a class, keeping the
+// source's sparse tier when it has one.
+func NewBinaryView(s sgd.Samples, class float64) sgd.Samples {
+	if ss, ok := s.(sgd.SparseSamples); ok {
+		return &sparseBinaryView{BinaryView{S: s, Class: class}, ss}
+	}
+	return &BinaryView{S: s, Class: class}
 }
 
 // Len implements sgd.Samples.
@@ -104,9 +173,26 @@ func (b *BinaryView) At(i int) ([]float64, float64) {
 // would have built itself.
 func (b *BinaryView) Shard(lo, hi int) sgd.Samples {
 	if sh, ok := b.S.(engine.Sharder); ok {
-		return &BinaryView{S: sh.Shard(lo, hi), Class: b.Class}
+		return NewBinaryView(sh.Shard(lo, hi), b.Class)
 	}
-	return &BinaryView{S: engine.RangeView(b.S, lo, hi), Class: b.Class}
+	return NewBinaryView(engine.RangeView(b.S, lo, hi), b.Class)
+}
+
+// sparseBinaryView is the second-tier variant NewBinaryView returns
+// for sparse sources: a distinct type (not an always-present method)
+// so a type assertion on sgd.SparseSamples stays truthful.
+type sparseBinaryView struct {
+	BinaryView
+	ss sgd.SparseSamples
+}
+
+// AtSparse implements sgd.SparseSamples with the same relabeling as At.
+func (b *sparseBinaryView) AtSparse(i int) (*vec.Sparse, float64) {
+	x, y := b.ss.AtSparse(i)
+	if y == b.Class {
+		return x, 1
+	}
+	return x, -1
 }
 
 // BinaryTrainer trains one binary model on the given (already
@@ -127,7 +213,7 @@ func TrainOneVsAll(s sgd.Samples, classes int, train BinaryTrainer) (*OneVsAll, 
 	}
 	model := &OneVsAll{W: make([][]float64, classes)}
 	for c := 0; c < classes; c++ {
-		w, err := train(&BinaryView{S: s, Class: float64(c)}, c)
+		w, err := train(NewBinaryView(s, float64(c)), c)
 		if err != nil {
 			return nil, fmt.Errorf("eval: class %d: %w", c, err)
 		}
@@ -140,19 +226,30 @@ func TrainOneVsAll(s sgd.Samples, classes int, train BinaryTrainer) (*OneVsAll, 
 }
 
 // ConfusionMatrix returns counts[actual][predicted] for a multiclass
-// classifier over s. Labels must be integers in [0, classes).
+// classifier over s. Labels must be integers in [0, classes). Sparse
+// sources are scored through the sparse tier when the classifier
+// supports it.
 func ConfusionMatrix(s sgd.Samples, c Classifier, classes int) [][]int {
 	out := make([][]int, classes)
 	for i := range out {
 		out[i] = make([]int, classes)
 	}
-	for i := 0; i < s.Len(); i++ {
-		x, y := s.At(i)
-		p := int(c.Predict(x))
+	record := func(p int, y float64) {
 		a := int(y)
 		if a >= 0 && a < classes && p >= 0 && p < classes {
 			out[a][p]++
 		}
+	}
+	if ss, sc, ok := sparseScoring(s, c); ok {
+		for i := 0; i < ss.Len(); i++ {
+			x, y := ss.AtSparse(i)
+			record(int(sc.PredictSparse(x)), y)
+		}
+		return out
+	}
+	for i := 0; i < s.Len(); i++ {
+		x, y := s.At(i)
+		record(int(c.Predict(x)), y)
 	}
 	return out
 }

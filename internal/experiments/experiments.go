@@ -91,6 +91,7 @@ var Registry = map[string]Runner{
 	"fig10":   Fig10BatchSweep,
 	"scaling": ScalingSharded,
 	"stream":  StreamingOnline,
+	"sparse":  SparseKernel,
 }
 
 // IDs returns the registered experiment IDs in sorted order.

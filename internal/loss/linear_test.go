@@ -1,0 +1,108 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"boltondp/internal/vec"
+)
+
+// Every loss in the package must expose the factored Linear form — the
+// sparse execution kernel dispatches on it.
+func TestAllLossesAreLinear(t *testing.T) {
+	for _, f := range []Function{
+		NewLogistic(0, 0), NewLogistic(1e-2, 0),
+		NewHuber(0.1, 0, 0), NewHuber(0.1, 1e-2, 0),
+		NewLeastSquares(0, 0), NewLeastSquares(1e-2, 0),
+	} {
+		if _, ok := f.(Linear); !ok {
+			t.Errorf("%s does not implement Linear", f.Name())
+		}
+	}
+}
+
+// The factored form must reproduce the dense Grad exactly:
+// Grad(w,x,y)[i] == Deriv(⟨w,x⟩,y)·x[i] + λ·w[i], bitwise — both paths
+// share the same scalar arithmetic, so sparse and dense runs start from
+// identical per-example gradients.
+func TestLinearFactorsGradExactly(t *testing.T) {
+	losses := []Linear{
+		NewLogistic(0, 0), NewLogistic(5e-3, 0),
+		NewHuber(0.1, 0, 0), NewHuber(0.1, 5e-3, 0),
+		NewLeastSquares(0, 0), NewLeastSquares(5e-3, 0),
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(20)
+		w, x, y := randomPoint(r, d, 1.2)
+		for _, f := range losses {
+			dense := make([]float64, d)
+			f.Grad(dense, w, x, y)
+			c := f.Deriv(vec.Dot(w, x), y)
+			lambda := f.Reg()
+			for i := range dense {
+				if want := c*x[i] + lambda*w[i]; dense[i] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// EvalDot + regularizer must reproduce Eval exactly for the same
+// reason: the sparse empirical risk is computed from inner products.
+func TestLinearFactorsEvalExactly(t *testing.T) {
+	losses := []Linear{
+		NewLogistic(0, 0), NewLogistic(5e-3, 0),
+		NewHuber(0.1, 0, 0), NewHuber(0.1, 5e-3, 0),
+		NewLeastSquares(0, 0), NewLeastSquares(5e-3, 0),
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(20)
+		w, x, y := randomPoint(r, d, 1.2)
+		for _, f := range losses {
+			want := f.Eval(w, x, y)
+			got := f.EvalDot(vec.Dot(w, x), y)
+			if lambda := f.Reg(); lambda > 0 {
+				n := vec.Norm(w)
+				got += 0.5 * lambda * n * n
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Deriv must be the analytic derivative of EvalDot in p.
+func TestDerivMatchesEvalDotNumerically(t *testing.T) {
+	losses := []Linear{
+		NewLogistic(0, 0), NewHuber(0.1, 0, 0), NewLeastSquares(0, 0),
+	}
+	r := rand.New(rand.NewSource(9))
+	const h = 1e-6
+	for trial := 0; trial < 200; trial++ {
+		p := r.NormFloat64() * 2
+		y := 1.0
+		if r.Float64() < 0.5 {
+			y = -1
+		}
+		for _, f := range losses {
+			num := (f.EvalDot(p+h, y) - f.EvalDot(p-h, y)) / (2 * h)
+			if math.Abs(num-f.Deriv(p, y)) > 1e-5 {
+				t.Fatalf("%s: Deriv(%v,%v) = %v, numeric %v", f.Name(), p, y, f.Deriv(p, y), num)
+			}
+		}
+	}
+}

@@ -49,6 +49,37 @@ type Function interface {
 	Params() Params
 }
 
+// Linear is the factored form of a linear-model loss: every loss in
+// this package is g(⟨w,x⟩, y) + (λ/2)‖w‖² for a scalar data-fit term
+// g, so its gradient factors as
+//
+//	∇_w ℓ = Deriv(⟨w,x⟩, y)·x + λ·w
+//
+// — a scalar times the example plus a uniform shrink. This is the
+// contract the sparse execution kernel (internal/sgd) is built on: the
+// per-example work is one sparse dot to get p = ⟨w,x⟩, one scalar
+// Deriv call, and one sparse axpy, touching only the non-zeros of x,
+// while the λ·w term becomes an O(1) rescale under the scaled-weight
+// representation. Grad and Eval are implemented on top of Deriv and
+// EvalDot, so the dense and sparse paths share the exact same scalar
+// arithmetic.
+//
+// A loss that cannot be factored this way (no current example) simply
+// does not implement Linear and trains on the dense path.
+type Linear interface {
+	Function
+	// Deriv returns ∂g/∂p at p = ⟨w,x⟩ — the scalar c of the factored
+	// gradient c·x + λw. For margin losses this is y·g'(y·p) with g'
+	// the margin derivative.
+	Deriv(p, y float64) float64
+	// EvalDot returns the data-fit term g(p, y): the loss value minus
+	// the (λ/2)‖w‖² regularizer.
+	EvalDot(p, y float64) float64
+	// Reg returns the L2 regularization coefficient λ (0 when
+	// unregularized).
+	Reg() float64
+}
+
 // Logistic is the L2-regularized logistic loss of equation (1):
 //
 //	ℓ(w; (x,y)) = ln(1 + exp(−y·⟨w,x⟩)) + (λ/2)‖w‖²,  y ∈ {±1}.
@@ -78,16 +109,35 @@ func (l *Logistic) Name() string {
 	return "logistic"
 }
 
+// EvalDot implements Linear: ln(1 + exp(−y·p)), stably.
+func (l *Logistic) EvalDot(p, y float64) float64 {
+	z := -y * p
+	// log(1+e^z) computed stably for large |z|.
+	if z > 30 {
+		return z
+	}
+	return math.Log1p(math.Exp(z))
+}
+
+// Deriv implements Linear: ∂g/∂p = −y·σ(−y·p), with σ the sigmoid.
+func (l *Logistic) Deriv(p, y float64) float64 {
+	z := y * p
+	// σ(−z) = 1/(1+e^z), computed stably.
+	var s float64
+	if z > 30 {
+		s = math.Exp(-z)
+	} else {
+		s = 1 / (1 + math.Exp(z))
+	}
+	return -y * s
+}
+
+// Reg implements Linear.
+func (l *Logistic) Reg() float64 { return l.Lambda }
+
 // Eval implements Function.
 func (l *Logistic) Eval(w, x []float64, y float64) float64 {
-	z := -y * vec.Dot(w, x)
-	// log(1+e^z) computed stably for large |z|.
-	var base float64
-	if z > 30 {
-		base = z
-	} else {
-		base = math.Log1p(math.Exp(z))
-	}
+	base := l.EvalDot(vec.Dot(w, x), y)
 	if l.Lambda > 0 {
 		n := vec.Norm(w)
 		base += 0.5 * l.Lambda * n * n
@@ -101,15 +151,7 @@ func (l *Logistic) Grad(dst, w, x []float64, y float64) {
 	if len(dst) != len(w) || len(w) != len(x) {
 		panic("loss: Grad length mismatch")
 	}
-	z := y * vec.Dot(w, x)
-	// σ(−z) = 1/(1+e^z), computed stably.
-	var s float64
-	if z > 30 {
-		s = math.Exp(-z)
-	} else {
-		s = 1 / (1 + math.Exp(z))
-	}
-	c := -y * s
+	c := l.Deriv(vec.Dot(w, x), y)
 	for i := range dst {
 		dst[i] = c*x[i] + l.Lambda*w[i]
 	}
@@ -158,33 +200,24 @@ func (l *Huber) Name() string {
 	return fmt.Sprintf("huber(h=%g)", l.H)
 }
 
-// Eval implements Function.
-func (l *Huber) Eval(w, x []float64, y float64) float64 {
-	z := y * vec.Dot(w, x)
-	var base float64
+// EvalDot implements Linear: the three-piece margin loss at z = y·p.
+func (l *Huber) EvalDot(p, y float64) float64 {
+	z := y * p
 	switch {
 	case z > 1+l.H:
-		base = 0
+		return 0
 	case z < 1-l.H:
-		base = 1 - z
+		return 1 - z
 	default:
 		d := 1 + l.H - z
-		base = d * d / (4 * l.H)
+		return d * d / (4 * l.H)
 	}
-	if l.Lambda > 0 {
-		n := vec.Norm(w)
-		base += 0.5 * l.Lambda * n * n
-	}
-	return base
 }
 
-// Grad implements Function. dℓ/dz is 0, −(1+h−z)/(2h) or −1 on the
-// three pieces; the chain rule multiplies by y·x.
-func (l *Huber) Grad(dst, w, x []float64, y float64) {
-	if len(dst) != len(w) || len(w) != len(x) {
-		panic("loss: Grad length mismatch")
-	}
-	z := y * vec.Dot(w, x)
+// Deriv implements Linear. dℓ/dz is 0, −(1+h−z)/(2h) or −1 on the
+// three pieces; the chain rule multiplies by y.
+func (l *Huber) Deriv(p, y float64) float64 {
+	z := y * p
 	var dz float64
 	switch {
 	case z > 1+l.H:
@@ -194,7 +227,29 @@ func (l *Huber) Grad(dst, w, x []float64, y float64) {
 	default:
 		dz = -(1 + l.H - z) / (2 * l.H)
 	}
-	c := dz * y
+	return dz * y
+}
+
+// Reg implements Linear.
+func (l *Huber) Reg() float64 { return l.Lambda }
+
+// Eval implements Function.
+func (l *Huber) Eval(w, x []float64, y float64) float64 {
+	base := l.EvalDot(vec.Dot(w, x), y)
+	if l.Lambda > 0 {
+		n := vec.Norm(w)
+		base += 0.5 * l.Lambda * n * n
+	}
+	return base
+}
+
+// Grad implements Function. The margin derivative comes from Deriv;
+// the loop adds the λw regularizer term.
+func (l *Huber) Grad(dst, w, x []float64, y float64) {
+	if len(dst) != len(w) || len(w) != len(x) {
+		panic("loss: Grad length mismatch")
+	}
+	c := l.Deriv(vec.Dot(w, x), y)
 	for i := range dst {
 		dst[i] = c*x[i] + l.Lambda*w[i]
 	}
@@ -237,10 +292,21 @@ func NewLeastSquares(lambda, r float64) *LeastSquares {
 // Name implements Function.
 func (l *LeastSquares) Name() string { return fmt.Sprintf("leastsquares(λ=%g)", l.Lambda) }
 
+// EvalDot implements Linear: (p − y)²/2.
+func (l *LeastSquares) EvalDot(p, y float64) float64 {
+	e := p - y
+	return 0.5 * e * e
+}
+
+// Deriv implements Linear: ∂g/∂p = p − y.
+func (l *LeastSquares) Deriv(p, y float64) float64 { return p - y }
+
+// Reg implements Linear.
+func (l *LeastSquares) Reg() float64 { return l.Lambda }
+
 // Eval implements Function.
 func (l *LeastSquares) Eval(w, x []float64, y float64) float64 {
-	e := vec.Dot(w, x) - y
-	base := 0.5 * e * e
+	base := l.EvalDot(vec.Dot(w, x), y)
 	if l.Lambda > 0 {
 		n := vec.Norm(w)
 		base += 0.5 * l.Lambda * n * n
@@ -253,7 +319,7 @@ func (l *LeastSquares) Grad(dst, w, x []float64, y float64) {
 	if len(dst) != len(w) || len(w) != len(x) {
 		panic("loss: Grad length mismatch")
 	}
-	e := vec.Dot(w, x) - y
+	e := l.Deriv(vec.Dot(w, x), y)
 	for i := range dst {
 		dst[i] = e*x[i] + l.Lambda*w[i]
 	}

@@ -29,9 +29,15 @@ import (
 )
 
 // Samples is the minimal read-only view of a training set the engine
-// needs. Implementations include data.Dataset and bismarck.Table.
-// At may return an internal buffer that is only valid until the next
-// call; the engine never retains the returned slice.
+// needs — the first tier of the two-tier access contract.
+// Implementations include data.Dataset and bismarck.Table. At may
+// return an internal buffer that is only valid until the next call;
+// the engine never retains the returned slice.
+//
+// Sources whose rows are naturally sparse should additionally
+// implement SparseSamples (the second tier): Run then executes on the
+// sparse-native kernel whenever the loss supports it, at O(nnz) per
+// example instead of O(d).
 type Samples interface {
 	// Len returns the number of examples m.
 	Len() int
@@ -196,10 +202,22 @@ func (r *Result) Model() []float64 {
 
 // Run executes permutation-based SGD over s and returns the resulting
 // model(s). It is deterministic given Config.Rand's state.
+//
+// Run is representation-blind: when the source implements
+// SparseSamples, the loss implements loss.Linear and no GradNoise hook
+// is installed, the run executes on the sparse-native kernel
+// (sparse.go), whose per-example cost is O(nnz) instead of O(d). The
+// two paths apply the same update rule batch for batch and agree to
+// floating-point rounding; randomness consumption (permutations) is
+// identical, so a caller drawing noise from the same Rand afterwards
+// sees identical draws either way.
 func Run(s Samples, cfg Config) (*Result, error) {
 	m := s.Len()
 	if err := cfg.validate(m); err != nil {
 		return nil, err
+	}
+	if ss, lf, ok := sparseCapable(s, &cfg); ok {
+		return runSparse(ss, lf, cfg)
 	}
 	d := s.Dim()
 	b := cfg.Batch
@@ -313,11 +331,18 @@ func Run(s Samples, cfg Config) (*Result, error) {
 }
 
 // EmpiricalRisk returns L_S(w) = (1/m) Σ ℓ(w; z_i), the quantity whose
-// excess the paper's convergence theorems bound.
+// excess the paper's convergence theorems bound. Like Run it is
+// representation-blind: sparse sources with a factored loss are scored
+// via sparse dot products, without densifying any row.
 func EmpiricalRisk(s Samples, f loss.Function, w []float64) float64 {
 	m := s.Len()
 	if m == 0 {
 		return 0
+	}
+	if ss, ok := s.(SparseSamples); ok {
+		if lf, ok2 := f.(loss.Linear); ok2 {
+			return sparseEmpiricalRisk(ss, lf, w)
+		}
 	}
 	var sum float64
 	for i := 0; i < m; i++ {

@@ -1,0 +1,82 @@
+package sgd
+
+import (
+	"math/rand"
+	"testing"
+
+	"boltondp/internal/loss"
+)
+
+// Sparse kernel benchmarks (run with:
+// go test -bench Sparse -benchmem ./internal/sgd). One epoch of
+// strongly convex PSGD over m rows at 5% density in d = 1000: the
+// sparse kernel must beat the dense path by at least the acceptance
+// floor of 5× and allocate nothing in steady state (the alloc gate is
+// TestSparseUpdateAllocs; -benchmem makes the per-op allocations
+// visible here too).
+
+const (
+	sparseBenchRows = 2000
+	sparseBenchDim  = 1000
+	sparseBenchNNZ  = 50 // 5% density
+)
+
+func sparseBenchConfig(f loss.Function, seed int64) Config {
+	p := f.Params()
+	return Config{
+		Loss:   f,
+		Step:   StronglyConvexPaper(p.Beta, p.Gamma),
+		Passes: 1,
+		Batch:  10,
+		Radius: 100,
+		Rand:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// BenchmarkSparseKernelEpoch: one epoch on the sparse-native kernel.
+func BenchmarkSparseKernelEpoch(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	sp, _ := randomSparseSamples(r, sparseBenchRows, sparseBenchDim, sparseBenchNNZ)
+	f := loss.NewLogistic(1e-2, 0)
+	if !UsesSparseKernel(sp, sparseBenchConfig(f, 0)) {
+		b.Fatal("benchmark source not sparse-dispatched")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sp, sparseBenchConfig(f, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSparseVsDenseBaselineEpoch: the identical workload through
+// the dense path (rows materialized), the denominator of the speedup
+// claim.
+func BenchmarkSparseVsDenseBaselineEpoch(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	_, de := randomSparseSamples(r, sparseBenchRows, sparseBenchDim, sparseBenchNNZ)
+	f := loss.NewLogistic(1e-2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(de, sparseBenchConfig(f, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSparseUpdate: the steady-state batch update alone —
+// -benchmem must report 0 allocs/op.
+func BenchmarkSparseUpdate(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	sp, _ := randomSparseSamples(r, 512, sparseBenchDim, sparseBenchNNZ)
+	var f loss.Linear = loss.NewLogistic(1e-2, 0)
+	st := newSparseState(f, sparseBenchDim, 16, 1.0, true, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := 0
+	for i := 0; i < b.N; i++ {
+		st.batch(sp, nil, start, start+16, 0.05)
+		st.cs += st.alpha
+		start = (start + 16) % 496
+	}
+}

@@ -91,6 +91,27 @@ func (s *Sparse) AxpyInto(dst []float64, alpha float64) {
 	}
 }
 
+// AxpyIntoDelta computes dst += alpha·s like AxpyInto and additionally
+// returns the induced change in ‖dst‖²:
+//
+//	Δ = ‖dst+α·s‖² − ‖dst‖² = 2α⟨dst, s⟩ + α²‖s‖²
+//
+// evaluated against dst's pre-update values in the same single pass
+// over the non-zeros. It is the kernel behind the sparse SGD engine's
+// incremental norm tracking (internal/sgd): the engine keeps ‖v‖² as a
+// running scalar so the O(1) projection test never has to rescan the
+// dense model.
+func (s *Sparse) AxpyIntoDelta(dst []float64, alpha float64) float64 {
+	var cross, sq float64
+	for i, ix := range s.Idx {
+		v := s.Val[i]
+		cross += dst[ix] * v
+		sq += v * v
+		dst[ix] += alpha * v
+	}
+	return 2*alpha*cross + alpha*alpha*sq
+}
+
 // Scatter writes s into dst, zeroing all other coordinates. len(dst)
 // must cover MaxIndex.
 func (s *Sparse) Scatter(dst []float64) {

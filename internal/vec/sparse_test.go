@@ -110,6 +110,36 @@ func TestSparseAxpyInto(t *testing.T) {
 	}
 }
 
+func TestSparseAxpyIntoDelta(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(30)
+		dst := make([]float64, d)
+		x := make([]float64, d)
+		for i := range dst {
+			dst[i] = r.NormFloat64()
+			if r.Float64() < 0.4 {
+				x[i] = r.NormFloat64()
+			}
+		}
+		alpha := r.NormFloat64()
+		before := Norm(dst)
+		s := DenseToSparse(x)
+		want := make([]float64, d)
+		copy(want, dst)
+		Axpy(want, alpha, x)
+		delta := s.AxpyIntoDelta(dst, alpha)
+		after := Norm(dst)
+		if !Equal(dst, want, 1e-12) {
+			return false
+		}
+		return math.Abs((before*before+delta)-after*after) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSparseDotTruncatesBeyondDense(t *testing.T) {
 	s, err := NewSparse([]int{0, 10}, []float64{1, 100})
 	if err != nil {
