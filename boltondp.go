@@ -36,6 +36,7 @@ import (
 	"boltondp/internal/eval"
 	"boltondp/internal/loss"
 	"boltondp/internal/projection"
+	"boltondp/internal/serve"
 	"boltondp/internal/sgd"
 	"boltondp/internal/tuning"
 )
@@ -210,6 +211,43 @@ func SaveClassifier(path string, c Classifier, meta map[string]string) error {
 func LoadClassifier(path string) (Classifier, map[string]string, error) {
 	return eval.LoadClassifier(path)
 }
+
+// Serving (see DESIGN.md §5).
+
+type (
+	// ModelRegistry holds named trained-model versions persisted via
+	// SaveClassifier's format, with an atomically hot-swappable live
+	// model — the deployment artifact the paper trains in-RDBMS to
+	// produce.
+	ModelRegistry = serve.Registry
+	// ServedModel is one immutable published model version.
+	ServedModel = serve.Model
+	// ModelServer is the HTTP prediction service over a registry:
+	// POST /predict, POST /predict/batch (sparse rows scored at
+	// O(rows·classes·nnz)), GET /healthz, GET /modelz.
+	ModelServer = serve.Server
+	// ServeOptions tunes the prediction service (batch-scoring
+	// workers, batch and body caps).
+	ServeOptions = serve.Config
+	// ServeRow is the wire form of one example: dense "x" or sparse
+	// coordinate "idx"/"val".
+	ServeRow = serve.Row
+)
+
+// NewModelRegistry opens (or creates) the model registry rooted at
+// dir, loading every model already published into it; dir == "" gives
+// an in-memory registry. Train-and-publish in three lines:
+//
+//	res, _ := boltondp.Train(train, f, opt)
+//	reg, _ := boltondp.NewModelRegistry("registry")
+//	reg.Publish("fraud", &boltondp.LinearClassifier{W: res.W}, meta)
+//
+// and serve it with NewModelServer (or cmd/dpserve).
+func NewModelRegistry(dir string) (*ModelRegistry, error) { return serve.NewRegistry(dir) }
+
+// NewModelServer builds the HTTP prediction service over a registry;
+// mount NewModelServer(reg, opt).Handler() on any http server.
+func NewModelServer(reg *ModelRegistry, opt ServeOptions) *ModelServer { return serve.New(reg, opt) }
 
 // Tuning.
 

@@ -4,8 +4,11 @@ package boltondp
 // work end-to-end through the exported API alone.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -294,6 +297,87 @@ func TestFacadeSVRG(t *testing.T) {
 	}
 	if acc := Accuracy(test, &LinearClassifier{W: res.W}); acc < 0.8 {
 		t.Errorf("SVRG accuracy %v on protein-sim", acc)
+	}
+}
+
+// TestFacadeTrainPublishServe walks the deployment story end to end
+// through the exported API alone: train a private model, publish it
+// into a registry directory, reopen the registry as a serving process
+// would, and score through the HTTP service.
+func TestFacadeTrainPublishServe(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	train, test := KDDSimSparse(r, 0.005)
+	lambda := 0.05
+	res, err := Train(train, NewLogisticLoss(lambda), TrainOptions{
+		Budget: Budget{Epsilon: 2},
+		Passes: 3, Batch: 50, Radius: 1 / lambda, Rand: r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	reg, err := NewModelRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("kdd", &LinearClassifier{W: res.W}, map[string]string{"epsilon": "2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh registry (the dpserve process) sees the published model.
+	reg2, err := NewModelRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := reg2.Live()
+	if live == nil || live.Name != "kdd" || live.Meta["epsilon"] != "2" {
+		t.Fatalf("reloaded live model %+v", live)
+	}
+
+	srv := httptest.NewServer(NewModelServer(reg2, ServeOptions{Workers: 2}).Handler())
+	defer srv.Close()
+
+	// Batch-score the sparse test rows over the wire and compare with
+	// local scoring.
+	n := 64
+	if n > test.Len() {
+		n = test.Len()
+	}
+	rows := make([]ServeRow, n)
+	want := make([]float64, n)
+	local := &LinearClassifier{W: res.W}
+	for i := 0; i < n; i++ {
+		sp, _ := test.AtSparse(i)
+		rows[i] = ServeRow{Idx: append([]int(nil), sp.Idx...), Val: append([]float64(nil), sp.Val...)}
+		want[i] = local.PredictSparse(sp)
+	}
+	body, err := json.Marshal(map[string]any{"rows": rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+"/predict/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var out struct {
+		Model  string    `json:"model"`
+		Labels []float64 `json:"labels"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Model != "kdd" || len(out.Labels) != n {
+		t.Fatalf("batch response model=%q labels=%d", out.Model, len(out.Labels))
+	}
+	for i, l := range out.Labels {
+		if l != want[i] {
+			t.Fatalf("row %d: served %v, local %v", i, l, want[i])
+		}
 	}
 }
 

@@ -1,0 +1,34 @@
+// Command dpserve serves trained models over HTTP: single-row and
+// batch prediction against a hot-swappable model registry.
+//
+// Usage:
+//
+//	dpserve -models ./registry                 # serve a dpsgd -publish registry
+//	dpserve -models ./registry -live protein   # pick among several versions
+//	dpserve -model model.json -addr :9090      # serve one dpsgd -save file
+//
+// Endpoints: POST /predict (one row, dense "x" or sparse "idx"/"val"),
+// POST /predict/batch (amortized scoring; sparse rows go through the
+// O(rows·classes·nnz) sparse tier), GET /healthz, GET /modelz. See
+// internal/serve for the subsystem and DESIGN.md §5 for its
+// invariants.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"boltondp/internal/cli"
+)
+
+func main() {
+	cfg, err := cli.ParseDPServe(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpserve: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cli.RunDPServe(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dpserve: %v\n", err)
+		os.Exit(1)
+	}
+}

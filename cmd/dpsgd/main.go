@@ -8,6 +8,7 @@
 //	dpsgd -sim protein -eps 0.1 -lambda 0.001 -passes 10 -batch 50
 //	dpsgd -data train.libsvm -eps 1 -delta 1e-6 -algo bst14
 //	dpsgd -sim kdd -algo noiseless -save model.json
+//	dpsgd -sim kdd -eps 1 -publish ./registry   # then: dpserve -models ./registry
 //
 // Algorithms: ours (bolt-on output perturbation, the default),
 // noiseless, scs13, bst14. See internal/cli for the implementation.

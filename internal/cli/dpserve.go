@@ -1,0 +1,137 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"boltondp/internal/eval"
+	"boltondp/internal/serve"
+)
+
+// DPServeConfig is the parsed command line of cmd/dpserve.
+type DPServeConfig struct {
+	Addr      string
+	ModelsDir string // registry directory (-models)
+	ModelPath string // single model file (-model)
+	Live      string // live version name inside -models
+	Workers   int
+	MaxBatch  int
+}
+
+// ParseDPServe parses and validates args (excluding argv[0]).
+func ParseDPServe(args []string, stderr io.Writer) (*DPServeConfig, error) {
+	cfg := &DPServeConfig{}
+	fs := flag.NewFlagSet("dpserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&cfg.Addr, "addr", ":8080", "listen address (host:port)")
+	fs.StringVar(&cfg.ModelsDir, "models", "", "model registry directory (populate with dpsgd -publish)")
+	fs.StringVar(&cfg.ModelPath, "model", "", "single model file (from dpsgd -save)")
+	fs.StringVar(&cfg.Live, "live", "", "registry model to serve live (default: the only model)")
+	fs.IntVar(&cfg.Workers, "workers", runtime.GOMAXPROCS(0), "goroutines scoring each batch request")
+	fs.IntVar(&cfg.MaxBatch, "max-batch", 0, "max rows per batch request (0 = server default)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if _, _, err := net.SplitHostPort(cfg.Addr); err != nil {
+		return nil, fmt.Errorf("cli: bad -addr %q: %w", cfg.Addr, err)
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("cli: -workers must be >= 1, got %d", cfg.Workers)
+	}
+	if cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("cli: -max-batch must be >= 0, got %d", cfg.MaxBatch)
+	}
+	switch {
+	case cfg.ModelsDir == "" && cfg.ModelPath == "":
+		return nil, errors.New("cli: need a model source: -models DIR or -model FILE")
+	case cfg.ModelsDir != "" && cfg.ModelPath != "":
+		return nil, errors.New("cli: -models and -model are mutually exclusive")
+	case cfg.ModelPath != "" && cfg.Live != "":
+		return nil, errors.New("cli: -live selects inside a -models registry; it conflicts with -model")
+	}
+	return cfg, nil
+}
+
+// BuildDPServe assembles the registry and prediction service for a
+// validated config — the testable core of RunDPServe, stopping just
+// short of binding a socket.
+func BuildDPServe(cfg *DPServeConfig) (*serve.Registry, *serve.Server, error) {
+	var reg *serve.Registry
+	switch {
+	case cfg.ModelsDir != "":
+		var err error
+		reg, err = serve.NewRegistry(cfg.ModelsDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		if reg.Len() == 0 {
+			return nil, nil, fmt.Errorf("cli: no models in %s (publish one with dpsgd -publish)", cfg.ModelsDir)
+		}
+		if cfg.Live != "" {
+			if _, err := reg.SetLive(cfg.Live); err != nil {
+				return nil, nil, err
+			}
+		}
+		if reg.Live() == nil {
+			return nil, nil, fmt.Errorf("cli: %s holds %d models; pick one with -live (have %v)",
+				cfg.ModelsDir, reg.Len(), reg.Names())
+		}
+	default:
+		c, meta, err := eval.LoadClassifier(cfg.ModelPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		reg, err = serve.NewRegistry("")
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := reg.Publish(modelStem(cfg.ModelPath), c, meta); err != nil {
+			return nil, nil, err
+		}
+	}
+	return reg, serve.New(reg, serve.Config{Workers: cfg.Workers, MaxBatch: cfg.MaxBatch}), nil
+}
+
+// modelStem derives a registry model name from a file path: the base
+// name without its extension. Shared by dpserve -model and dpsgd
+// -publish so both sides name the same file identically.
+func modelStem(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// RunDPServe executes a parsed config: it builds the service, binds
+// cfg.Addr, announces the bound address on out and serves until the
+// listener fails.
+func RunDPServe(cfg *DPServeConfig, out io.Writer) error {
+	reg, srv, err := BuildDPServe(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("cli: %w", err)
+	}
+	live := reg.Live()
+	fmt.Fprintf(out, "dpserve: %d model(s), live=%q (dim=%d classes=%d), workers=%d, listening on %s\n",
+		reg.Len(), live.Name, live.Dim, live.Classes, cfg.Workers, ln.Addr())
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// A serving process must survive slow or stalled clients:
+		// without these, each slowloris-style connection pins a
+		// goroutine and fd forever (MaxBytesReader only guards the
+		// body once headers arrive).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.Serve(ln)
+}

@@ -1,6 +1,6 @@
-// Package cli implements the dpsgd command's logic as a testable
-// library: flag parsing, dataset selection, training dispatch and
-// report formatting, with all I/O injected.
+// Package cli implements the dpsgd and dpserve commands' logic as a
+// testable library: flag parsing, dataset selection, training and
+// serving dispatch and report formatting, with all I/O injected.
 package cli
 
 import (
@@ -16,6 +16,7 @@ import (
 	"boltondp/internal/engine"
 	"boltondp/internal/eval"
 	"boltondp/internal/loss"
+	"boltondp/internal/serve"
 	"boltondp/internal/sgd"
 )
 
@@ -36,6 +37,7 @@ type DPSGDConfig struct {
 	Workers  int
 	Seed     int64
 	SavePath string
+	Publish  string
 }
 
 // ParseDPSGD parses args (excluding argv[0]) into a config.
@@ -58,6 +60,7 @@ func ParseDPSGD(args []string, stderr io.Writer) (*DPSGDConfig, error) {
 	fs.IntVar(&cfg.Workers, "workers", 1, "shard count for -strategy sharded")
 	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	fs.StringVar(&cfg.SavePath, "save", "", "write the trained model (JSON) to this path")
+	fs.StringVar(&cfg.Publish, "publish", "", "publish the trained model into this registry directory (serve it with dpserve -models)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -82,6 +85,13 @@ const sparseDensityThreshold = 0.25
 
 // RunDPSGD executes a parsed config, writing the report to out.
 func RunDPSGD(cfg *DPSGDConfig, out io.Writer) error {
+	if cfg.Publish != "" {
+		// Fail before training, not after: a rejected name would
+		// otherwise discard the whole run at the publish step.
+		if err := serve.ValidModelName(publishName(cfg)); err != nil {
+			return err
+		}
+	}
 	r := rand.New(rand.NewSource(cfg.Seed))
 
 	var train, test sgd.Samples
@@ -207,19 +217,42 @@ func RunDPSGD(cfg *DPSGDConfig, out io.Writer) error {
 	fmt.Fprintf(out, "train accuracy: %.4f\n", eval.Accuracy(train, model))
 	fmt.Fprintf(out, "test  accuracy: %.4f\n", eval.Accuracy(test, model))
 
+	meta := map[string]string{
+		"algorithm": cfg.Algo,
+		"loss":      f.Name(),
+		"epsilon":   fmt.Sprint(cfg.Eps),
+		"delta":     fmt.Sprint(cfg.Delta),
+		"passes":    fmt.Sprint(cfg.Passes),
+		"batch":     fmt.Sprint(cfg.Batch),
+	}
 	if cfg.SavePath != "" {
-		meta := map[string]string{
-			"algorithm": cfg.Algo,
-			"loss":      f.Name(),
-			"epsilon":   fmt.Sprint(cfg.Eps),
-			"delta":     fmt.Sprint(cfg.Delta),
-			"passes":    fmt.Sprint(cfg.Passes),
-			"batch":     fmt.Sprint(cfg.Batch),
-		}
 		if err := eval.SaveClassifier(cfg.SavePath, model, meta); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "model written to %s\n", cfg.SavePath)
 	}
+	if cfg.Publish != "" {
+		// Train-and-publish: the model goes straight into a serving
+		// registry (atomic write + hot-swap), carrying its privacy
+		// statement in the metadata.
+		reg, err := serve.NewRegistry(cfg.Publish)
+		if err != nil {
+			return err
+		}
+		name := publishName(cfg)
+		if _, err := reg.Publish(name, model, meta); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "model published to %s as %q (live)\n", cfg.Publish, name)
+	}
 	return nil
+}
+
+// publishName derives the registry name for a -publish run: the data
+// file's stem, or the simulator name.
+func publishName(cfg *DPSGDConfig) string {
+	if cfg.DataPath == "" {
+		return cfg.Sim
+	}
+	return modelStem(cfg.DataPath)
 }

@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"boltondp/internal/vec"
+)
+
+// updateGolden regenerates the committed serialization fixtures:
+//
+//	go test ./internal/eval -run Golden -update-golden
+//
+// Only do this for a deliberate, reviewed format change — the serving
+// registry (internal/serve) persists through this format, so a silent
+// drift would orphan every published model file.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden model fixtures")
+
+// goldenCases pins the writer's output byte-for-byte for both model
+// kinds. Weights are chosen to exercise sign, zero and values that
+// round-trip exactly through decimal (dyadic rationals).
+func goldenCases() []struct {
+	file  string
+	model Classifier
+	meta  map[string]string
+} {
+	return []struct {
+		file  string
+		model Classifier
+		meta  map[string]string
+	}{
+		{
+			file:  "linear.golden.json",
+			model: &Linear{W: []float64{0.5, -1.25, 0, 3.5, -0.0625}},
+			meta:  map[string]string{"algorithm": "ours", "epsilon": "0.5", "loss": "logistic"},
+		},
+		{
+			file:  "onevsall.golden.json",
+			model: &OneVsAll{W: [][]float64{{1, 0, -0.5}, {0, 1, 0.25}, {-1, -1, 2}}},
+			meta:  map[string]string{"epsilon": "1", "loss": "huber"},
+		},
+	}
+}
+
+func TestGoldenModelFiles(t *testing.T) {
+	for _, tc := range goldenCases() {
+		golden := filepath.Join("testdata", tc.file)
+		path := filepath.Join(t.TempDir(), tc.file)
+		if err := SaveClassifier(path, tc.model, tc.meta); err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *updateGolden {
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s", golden)
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with -update-golden)", tc.file, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: writer output drifted from the committed fixture.\ngot:\n%s\nwant:\n%s\n"+
+				"The registry's on-disk format changed — if intentional, rerun with -update-golden and "+
+				"document the migration.", tc.file, got, want)
+		}
+	}
+}
+
+// TestGoldenModelFilesLoad proves today's reader still understands the
+// committed fixtures (backward compatibility is independent of writer
+// stability).
+func TestGoldenModelFilesLoad(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixtures being rewritten")
+	}
+	for _, tc := range goldenCases() {
+		c, meta, err := LoadClassifier(filepath.Join("testdata", tc.file))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		for k, v := range tc.meta {
+			if meta[k] != v {
+				t.Errorf("%s: meta[%q] = %q, want %q", tc.file, k, meta[k], v)
+			}
+		}
+		switch want := tc.model.(type) {
+		case *Linear:
+			got, ok := c.(*Linear)
+			if !ok || !vec.Equal(got.W, want.W, 0) {
+				t.Errorf("%s: loaded %#v", tc.file, c)
+			}
+		case *OneVsAll:
+			got, ok := c.(*OneVsAll)
+			if !ok || len(got.W) != len(want.W) {
+				t.Fatalf("%s: loaded %#v", tc.file, c)
+			}
+			for cls := range want.W {
+				if !vec.Equal(got.W[cls], want.W[cls], 0) {
+					t.Errorf("%s: class %d weights drifted", tc.file, cls)
+				}
+			}
+		}
+		// The loaded model must also behave identically, sparse tier
+		// included — the serving registry scores through it.
+		x := make([]float64, dimOf(tc.model))
+		for i := range x {
+			x[i] = 0.3 - 0.7*float64(i%3)
+		}
+		if c.Predict(x) != tc.model.Predict(x) {
+			t.Errorf("%s: loaded model predicts differently", tc.file)
+		}
+		sp := vec.DenseToSparse(x)
+		if c.(SparseClassifier).PredictSparse(sp) != tc.model.(SparseClassifier).PredictSparse(sp) {
+			t.Errorf("%s: sparse tier predicts differently after the round trip", tc.file)
+		}
+	}
+}
+
+func dimOf(c Classifier) int {
+	switch m := c.(type) {
+	case *Linear:
+		return len(m.W)
+	case *OneVsAll:
+		return len(m.W[0])
+	}
+	return 0
+}

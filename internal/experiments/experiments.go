@@ -92,6 +92,7 @@ var Registry = map[string]Runner{
 	"scaling": ScalingSharded,
 	"stream":  StreamingOnline,
 	"sparse":  SparseKernel,
+	"serve":   ServeThroughput,
 }
 
 // IDs returns the registered experiment IDs in sorted order.

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"boltondp/internal/baselines"
+	"boltondp/internal/data"
+	"boltondp/internal/eval"
+	"boltondp/internal/loss"
+	"boltondp/internal/serve"
+)
+
+// ServeThroughput measures the serving subsystem end to end: a model
+// is trained on the KDDSimSparse one-hot workload, published into a
+// registry, and served over a real HTTP listener; the sweep then
+// scores a fixed pool of sparse test rows at different batch sizes and
+// batch-scoring worker counts. The punchline column is the per-row
+// speedup over single-row /predict: batching amortizes the HTTP round
+// trip and JSON framing while the sparse tier keeps the scoring cost
+// at O(rows·classes·nnz), which is what lets one process absorb heavy
+// prediction traffic (the ROADMAP's serving story; ISSUE 3 acceptance
+// pins ≥ 5× for batch 256).
+func ServeThroughput(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(cfg.Out, "== Serving throughput: batch size × workers over live HTTP, KDDSimSparse ==")
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	train, test := data.KDDSimSparse(r, cfg.Scale)
+	res, err := baselines.Noiseless(train, loss.NewLogistic(1e-3, 0), baselines.Options{
+		Passes: 1, Batch: 50, Rand: r,
+	})
+	if err != nil {
+		return err
+	}
+	reg, err := serve.NewRegistry("")
+	if err != nil {
+		return err
+	}
+	if _, err := reg.Publish("kdd", &eval.Linear{W: res.W}, map[string]string{"algorithm": "noiseless"}); err != nil {
+		return err
+	}
+
+	// A fixed pool of sparse wire rows, reused across every cell.
+	pool := 4096
+	if cfg.Quick {
+		pool = 512
+	}
+	if pool > test.Len() {
+		pool = test.Len()
+	}
+	rows := make([]serve.Row, pool)
+	for i := range rows {
+		sp, _ := test.AtSparse(i)
+		rows[i] = serve.Row{Idx: append([]int(nil), sp.Idx...), Val: append([]float64(nil), sp.Val...)}
+	}
+
+	batches := []int{1, 16, 64, 256}
+	workerGrid := []int{1, 2, 4}
+	if cfg.Quick {
+		batches = []int{1, 64}
+		workerGrid = []int{1}
+	}
+
+	w := newTab(cfg)
+	fmt.Fprintln(w, "form\tbatch\tworkers\trequests\twall\trows/s\tµs/row\tspeedup")
+	var baseline float64
+	for _, batch := range batches {
+		forms := []string{"rows", "csr"}
+		if batch == 1 {
+			forms = []string{"single"}
+		}
+		for _, form := range forms {
+			for _, workers := range workerGrid {
+				if batch == 1 && workers > 1 {
+					continue // batch scheduling has nothing to split
+				}
+				rps, requests, wall, err := measureServe(reg, rows, form, batch, workers)
+				if err != nil {
+					return err
+				}
+				if baseline == 0 {
+					baseline = rps
+				}
+				fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%v\t%.0f\t%.1f\t%.1fx\n",
+					form, batch, workers, requests, wall.Round(time.Millisecond),
+					rps, 1e6/rps, rps/baseline)
+			}
+		}
+	}
+	return w.Flush()
+}
+
+// measureServe serves the row pool through a fresh HTTP server in the
+// given wire form ("single", "rows" or "csr") at the given batch size
+// and worker count, returning rows/sec.
+func measureServe(reg *serve.Registry, rows []serve.Row, form string, batch, workers int) (rps float64, requests int, wall time.Duration, err error) {
+	srv := httptest.NewServer(serve.New(reg, serve.Config{Workers: workers}).Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	type batchReq struct {
+		Rows []serve.Row `json:"rows"`
+	}
+	type csrReq struct {
+		Indptr []int     `json:"indptr"`
+		Idx    []int     `json:"idx"`
+		Val    []float64 `json:"val"`
+	}
+	type singleReq struct {
+		Idx []int     `json:"idx"`
+		Val []float64 `json:"val"`
+	}
+	var bodies [][]byte
+	switch form {
+	case "single":
+		for i := range rows {
+			b, e := json.Marshal(singleReq{Idx: rows[i].Idx, Val: rows[i].Val})
+			if e != nil {
+				return 0, 0, 0, e
+			}
+			bodies = append(bodies, b)
+		}
+	case "rows", "csr":
+		for lo := 0; lo < len(rows); lo += batch {
+			hi := lo + batch
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			var payload any
+			if form == "rows" {
+				payload = batchReq{Rows: rows[lo:hi]}
+			} else {
+				indptr, idx, val, e := serve.PackCSR(rows[lo:hi])
+				if e != nil {
+					return 0, 0, 0, e
+				}
+				payload = csrReq{Indptr: indptr, Idx: idx, Val: val}
+			}
+			b, e := json.Marshal(payload)
+			if e != nil {
+				return 0, 0, 0, e
+			}
+			bodies = append(bodies, b)
+		}
+	default:
+		return 0, 0, 0, fmt.Errorf("experiments: unknown serve form %q", form)
+	}
+	url := srv.URL + "/predict"
+	if form != "single" {
+		url = srv.URL + "/predict/batch"
+	}
+
+	post := func(body []byte) error {
+		resp, e := client.Post(url, "application/json", bytes.NewReader(body))
+		if e != nil {
+			return e
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("experiments: serve status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err = post(bodies[0]); err != nil { // warm the connection
+		return 0, 0, 0, err
+	}
+	start := time.Now()
+	for _, body := range bodies {
+		if err = post(body); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	wall = time.Since(start)
+	return float64(len(rows)) / wall.Seconds(), len(bodies), wall, nil
+}

@@ -1,0 +1,300 @@
+// Package serve is the model-serving subsystem: a concurrent HTTP
+// prediction service over a registry of trained models.
+//
+// The paper's end product is a deployed private model — training runs
+// inside the RDBMS precisely so the resulting classifier can be used
+// where the data lives. This package is that deployment surface: a
+// long-lived process that answers a stream of small prediction queries
+// against a maintained model artifact, hot-swapping the live model when
+// a new version is published (the same shape as incremental view
+// maintenance: maintain an artifact, answer queries against it, swap on
+// update).
+//
+// The subsystem has three parts:
+//
+//   - Registry: named model versions persisted via the eval
+//     serialization format, with an atomically hot-swappable live
+//     model. Published models are immutable; readers can never observe
+//     a torn model.
+//   - Server: HTTP handlers for /predict (one row, dense or sparse
+//     coordinate form), /predict/batch (amortized scoring, sparse rows
+//     routed through the eval sparse tier at O(rows·classes·nnz)), and
+//     /healthz + /modelz introspection.
+//   - The train-and-publish path: dpsgd -publish writes boltondp.Train
+//     output straight into a registry directory that cmd/dpserve
+//     serves.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"boltondp/internal/eval"
+)
+
+// Model is one immutable published model version. All fields are set
+// at publish time and never mutated afterwards — that immutability is
+// what makes the registry's atomic-pointer hot-swap torn-model-free.
+type Model struct {
+	// Name identifies the version inside its registry.
+	Name string
+	// Classifier is the dense scoring interface.
+	Classifier eval.Classifier
+	// Sparse is the sparse scoring tier (non-nil for every model the
+	// registry accepts; both eval classifier kinds implement it).
+	Sparse eval.SparseClassifier
+	// Meta is the metadata the model was published with — typically
+	// its privacy statement (ε, δ, loss, sensitivity). The registry
+	// stores a private copy.
+	Meta map[string]string
+	// Dim is the feature dimension rows must match.
+	Dim int
+	// Classes is 2 for a binary model, else the one-vs-all class count.
+	Classes int
+	// Published is when this version entered the registry.
+	Published time.Time
+}
+
+// newModel validates a classifier and wraps it as a registry version.
+// Only the eval classifier kinds are accepted: the registry persists
+// through eval.SaveClassifier, so anything it holds must round-trip
+// that format.
+func newModel(name string, c eval.Classifier, meta map[string]string) (*Model, error) {
+	m := &Model{Name: name, Classifier: c, Published: time.Now()}
+	switch cc := c.(type) {
+	case *eval.Linear:
+		if len(cc.W) == 0 {
+			return nil, fmt.Errorf("serve: model %q has an empty weight vector", name)
+		}
+		m.Dim, m.Classes = len(cc.W), 2
+	case *eval.OneVsAll:
+		if len(cc.W) < 2 || len(cc.W[0]) == 0 {
+			return nil, fmt.Errorf("serve: model %q is a malformed one-vs-all model", name)
+		}
+		m.Dim, m.Classes = len(cc.W[0]), len(cc.W)
+		for cls, w := range cc.W {
+			if len(w) != m.Dim {
+				return nil, fmt.Errorf("serve: model %q class %d has dim %d, want %d", name, cls, len(w), m.Dim)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("serve: cannot serve %T (registry models must round-trip eval.SaveClassifier)", c)
+	}
+	m.Sparse = c.(eval.SparseClassifier)
+	if len(meta) > 0 {
+		m.Meta = make(map[string]string, len(meta))
+		for k, v := range meta {
+			m.Meta[k] = v
+		}
+	}
+	return m, nil
+}
+
+// Registry holds named model versions and designates one of them live.
+//
+// Locking invariants (pinned by the race tests):
+//
+//   - The version map is guarded by mu; Publish/SetLive take the write
+//     lock, Get/Names/Models the read lock.
+//   - The live model is a single atomic pointer to an immutable Model.
+//     Prediction paths load it exactly once per request and never take
+//     mu, so hot-swaps cannot block or tear in-flight predictions: a
+//     reader sees the old version or the new one, never a mixture.
+//   - Persistence is write-to-temp + rename, so a registry directory
+//     never contains a half-written model file.
+type Registry struct {
+	dir string // "" = in-memory only
+
+	live atomic.Pointer[Model]
+
+	mu     sync.RWMutex
+	models map[string]*Model
+}
+
+// NewRegistry opens the registry rooted at dir, creating the directory
+// if needed and loading every model file already in it (from earlier
+// Publish calls or dpsgd -publish). If exactly one model is found it
+// becomes live; otherwise the caller picks one with SetLive. dir == ""
+// gives an in-memory registry.
+func NewRegistry(dir string) (*Registry, error) {
+	r := &Registry{dir: dir, models: map[string]*Model{}}
+	if dir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".json")
+		c, meta, err := eval.LoadClassifier(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading %q: %w", e.Name(), err)
+		}
+		m, err := newModel(name, c, meta)
+		if err != nil {
+			return nil, err
+		}
+		// The file's mtime is the persisted record of when this version
+		// was published; stamping load time would make /modelz report
+		// the process restart as every model's publish time.
+		if fi, err := e.Info(); err == nil {
+			m.Published = fi.ModTime()
+		}
+		r.models[name] = m
+	}
+	if len(r.models) == 1 {
+		for _, m := range r.models {
+			r.live.Store(m)
+		}
+	}
+	return r, nil
+}
+
+// ValidModelName rejects names that cannot double as registry file
+// stems. Exported so publish paths (dpsgd -publish) can fail fast
+// before spending a training run on a name Publish would reject.
+func ValidModelName(name string) error {
+	if name == "" {
+		return errors.New("serve: empty model name")
+	}
+	if strings.ContainsAny(name, `/\`) || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("serve: invalid model name %q", name)
+	}
+	return nil
+}
+
+// Publish registers (or replaces) the named version, persists it when
+// the registry is directory-backed, and hot-swaps it live. In-flight
+// predictions against the previous live model finish on that model.
+//
+// The persist step runs under mu: that ties on-disk rename order to
+// in-memory registration order, so concurrent publishes of one name
+// cannot leave the directory holding a different version than the one
+// the process serves. (Publish is a management path; prediction never
+// touches mu.)
+func (r *Registry) Publish(name string, c eval.Classifier, meta map[string]string) (*Model, error) {
+	if err := ValidModelName(name); err != nil {
+		return nil, err
+	}
+	m, err := newModel(name, c, meta)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.dir != "" {
+		if err := r.persist(m); err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
+	}
+	r.models[name] = m
+	// The live store happens inside the critical section too, so
+	// concurrent same-name publishes cannot leave live pointing at a
+	// superseded version the map and disk no longer hold.
+	r.live.Store(m)
+	r.mu.Unlock()
+	return m, nil
+}
+
+// persist writes the model file atomically: a same-directory temp file
+// renamed into place, so a crash mid-write never leaves a torn file
+// for the next NewRegistry to trip over. The temp name is unique per
+// call (os.CreateTemp), so concurrent publishers of the same name —
+// goroutines or separate dpsgd -publish processes — cannot interleave
+// writes; last rename wins with both files intact.
+func (r *Registry) persist(m *Model) error {
+	f, err := os.CreateTemp(r.dir, m.Name+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	tmp := f.Name()
+	f.Close()
+	if err := eval.SaveClassifier(tmp, m.Classifier, m.Meta); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// CreateTemp made the file 0600 and WriteFile's mode only applies
+	// on creation; published files must match dpsgd -save's 0644 so a
+	// registry stays readable across users.
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(r.dir, m.Name+".json")); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// SetLive hot-swaps the live model to the named version.
+func (r *Registry) SetLive(name string) (*Model, error) {
+	r.mu.RLock()
+	m := r.models[name]
+	r.mu.RUnlock()
+	if m == nil {
+		return nil, fmt.Errorf("serve: no model %q (have %v)", name, r.Names())
+	}
+	r.live.Store(m)
+	return m, nil
+}
+
+// Live returns the current live model, or nil when none is set. The
+// single atomic load is the whole synchronization story of the
+// prediction hot path.
+func (r *Registry) Live() *Model {
+	return r.live.Load()
+}
+
+// Get returns the named version.
+func (r *Registry) Get(name string) (*Model, bool) {
+	r.mu.RLock()
+	m, ok := r.models[name]
+	r.mu.RUnlock()
+	return m, ok
+}
+
+// Names returns the registered version names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.models))
+	for name := range r.models {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Models returns the registered versions sorted by name.
+func (r *Registry) Models() []*Model {
+	r.mu.RLock()
+	out := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered versions.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}

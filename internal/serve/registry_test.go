@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"boltondp/internal/eval"
+	"boltondp/internal/vec"
+)
+
+func linear(dim int, v float64) *eval.Linear {
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = v
+	}
+	return &eval.Linear{W: w}
+}
+
+func TestRegistryPublishGetLive(t *testing.T) {
+	r, err := NewRegistry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Live() != nil {
+		t.Error("empty registry has a live model")
+	}
+	m, err := r.Publish("a", linear(3, 1), map[string]string{"epsilon": "0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim != 3 || m.Classes != 2 || m.Sparse == nil {
+		t.Errorf("model %+v", m)
+	}
+	if r.Live() != m {
+		t.Error("publish did not hot-swap live")
+	}
+	if got, ok := r.Get("a"); !ok || got != m {
+		t.Error("Get(a) missing")
+	}
+	// A second publish hot-swaps; SetLive swaps back.
+	m2, err := r.Publish("b", linear(4, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Live() != m2 {
+		t.Error("second publish not live")
+	}
+	if _, err := r.SetLive("a"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Live() != m {
+		t.Error("SetLive(a) did not swap")
+	}
+	if _, err := r.SetLive("nope"); err == nil {
+		t.Error("SetLive accepted unknown name")
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names %v", names)
+	}
+	if r.Len() != 2 || len(r.Models()) != 2 {
+		t.Errorf("len %d models %d", r.Len(), len(r.Models()))
+	}
+}
+
+func TestRegistryMetaIsCopied(t *testing.T) {
+	r, _ := NewRegistry("")
+	meta := map[string]string{"epsilon": "0.1"}
+	m, err := r.Publish("a", linear(2, 1), meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta["epsilon"] = "mutated"
+	if m.Meta["epsilon"] != "0.1" {
+		t.Error("registry shares the caller's meta map")
+	}
+}
+
+func TestRegistryRejects(t *testing.T) {
+	r, _ := NewRegistry("")
+	for name, publish := range map[string]func() error{
+		"empty name":    func() error { _, err := r.Publish("", linear(2, 1), nil); return err },
+		"path name":     func() error { _, err := r.Publish("a/b", linear(2, 1), nil); return err },
+		"dot name":      func() error { _, err := r.Publish(".hidden", linear(2, 1), nil); return err },
+		"empty weights": func() error { _, err := r.Publish("a", &eval.Linear{}, nil); return err },
+		"one-class ova": func() error { _, err := r.Publish("a", &eval.OneVsAll{W: [][]float64{{1}}}, nil); return err },
+		"ragged ova":    func() error { _, err := r.Publish("a", &eval.OneVsAll{W: [][]float64{{1, 2}, {3}}}, nil); return err },
+		"unknown type":  func() error { _, err := r.Publish("a", stubClassifier{}, nil); return err },
+	} {
+		if publish() == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if r.Len() != 0 || r.Live() != nil {
+		t.Error("rejected publishes left state behind")
+	}
+}
+
+type stubClassifier struct{}
+
+func (stubClassifier) Predict([]float64) float64 { return 0 }
+
+func TestRegistryPersistence(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ova := &eval.OneVsAll{W: [][]float64{{1, 0}, {0, 1}, {-1, -1}}}
+	if _, err := r.Publish("digits", ova, map[string]string{"epsilon": "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish("fraud", linear(2, 0.5), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh registry over the same directory sees both versions, with
+	// no live model auto-selected (two candidates are ambiguous).
+	r2, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 2 {
+		t.Fatalf("reloaded %d models, want 2", r2.Len())
+	}
+	if r2.Live() != nil {
+		t.Error("ambiguous live model auto-selected")
+	}
+	m, err := r2.SetLive("digits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Classes != 3 || m.Dim != 2 {
+		t.Errorf("reloaded digits %+v", m)
+	}
+	got := m.Classifier.(*eval.OneVsAll)
+	for c := range ova.W {
+		if !vec.Equal(got.W[c], ova.W[c], 0) {
+			t.Errorf("class %d weights drifted through the round trip", c)
+		}
+	}
+	if m.Meta["epsilon"] != "1" {
+		t.Errorf("meta %v", m.Meta)
+	}
+
+	// A single-model directory auto-selects its only model.
+	solo := t.TempDir()
+	rs, err := NewRegistry(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Publish("only", linear(2, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := NewRegistry(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Live() == nil || rs2.Live().Name != "only" {
+		t.Error("single model not auto-live after reload")
+	}
+}
+
+func TestRegistryIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"README.txt", "half.json.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("not a model"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("loaded %d models from foreign files", r.Len())
+	}
+	// A corrupt .json model file is a loud error, not a silent skip.
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry(dir); err == nil {
+		t.Error("corrupt model file accepted")
+	}
+}
+
+// TestRegistryHotSwapRace is the subsystem's foundational guarantee: N
+// goroutines predicting while M goroutines hot-swap must be data-race
+// free (run under -race) and must never observe a torn model. Every
+// published version has all-equal weights, so any mixture of two
+// versions is detectable from a single Live() load.
+func TestRegistryHotSwapRace(t *testing.T) {
+	const (
+		readers  = 8
+		writers  = 4
+		versions = 60
+		dim      = 128
+	)
+	r, err := NewRegistry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish("v", linear(dim, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var torn atomic.Int32
+	var readerWG, writerWG sync.WaitGroup
+
+	probe := &vec.Sparse{Idx: []int{0, dim / 2, dim - 1}, Val: []float64{1, 1, 1}}
+	for g := 0; g < readers; g++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for !stop.Load() {
+				m := r.Live()
+				w := m.Classifier.(*eval.Linear).W
+				v0 := w[0]
+				for _, v := range w {
+					if v != v0 {
+						torn.Add(1)
+						return
+					}
+				}
+				// Exercise both scoring tiers while swaps are landing.
+				if got := m.Sparse.PredictSparse(probe); got != 1 && got != -1 {
+					torn.Add(1)
+					return
+				}
+			}
+		}()
+	}
+
+	for g := 0; g < writers; g++ {
+		writerWG.Add(1)
+		go func(g int) {
+			defer writerWG.Done()
+			for k := 1; k <= versions; k++ {
+				// Writers alternate between publishing fresh versions
+				// (under distinct names) and re-pointing live at an old
+				// one — both swap paths stay hot.
+				if k%3 == 0 {
+					if _, err := r.SetLive("v"); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				name := fmt.Sprintf("v%d-%d", g, k)
+				if _, err := r.Publish(name, linear(dim, float64(k)), nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	writerWG.Wait() // all swaps landed; release the readers
+	stop.Store(true)
+	readerWG.Wait()
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d torn model observations", n)
+	}
+}

@@ -1,0 +1,438 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"boltondp/internal/engine"
+	"boltondp/internal/vec"
+)
+
+// Row is one example in the request wire format: either a dense vector
+// ("x") or sparse coordinate form ("idx"/"val", pairs in any order,
+// duplicates summed). Exactly one of the two forms must be present.
+type Row struct {
+	X   []float64 `json:"x,omitempty"`
+	Idx []int     `json:"idx,omitempty"`
+	Val []float64 `json:"val,omitempty"`
+}
+
+// Score scores one wire row against the model. Sparse rows go through
+// the eval sparse tier: one O(classes·nnz) row visit, never a dense
+// scatter. Already-canonical coordinate rows (strictly increasing
+// indices) are scored zero-copy; anything else is canonicalized
+// through vec.SortedCopy.
+func (m *Model) Score(row *Row) (float64, error) {
+	switch {
+	case row.X != nil && (row.Idx != nil || row.Val != nil):
+		return 0, errors.New("row has both dense and sparse form")
+	case row.X != nil:
+		if len(row.X) != m.Dim {
+			return 0, fmt.Errorf("row has %d features, model %q expects %d", len(row.X), m.Name, m.Dim)
+		}
+		return m.Classifier.Predict(row.X), nil
+	case row.Idx != nil || row.Val != nil:
+		return m.scoreSparse(row.Idx, row.Val)
+	default:
+		return 0, errors.New(`empty row (need "x" or "idx"/"val")`)
+	}
+}
+
+// scoreSparse scores one coordinate-form row through the sparse tier.
+func (m *Model) scoreSparse(idx []int, val []float64) (float64, error) {
+	sp, err := sparseRow(idx, val)
+	if err != nil {
+		return 0, err
+	}
+	if mi := sp.MaxIndex(); mi >= m.Dim {
+		return 0, fmt.Errorf("sparse index %d out of range for model %q (dim %d)", mi, m.Name, m.Dim)
+	}
+	return m.Sparse.PredictSparse(sp), nil
+}
+
+// sparseRow builds the vec.Sparse view of a coordinate-form wire row:
+// a zero-copy wrapper when the pairs are already canonical (the common
+// case for programmatic clients), else a canonicalizing copy.
+func sparseRow(idx []int, val []float64) (*vec.Sparse, error) {
+	if len(idx) == len(val) && canonical(idx) {
+		return &vec.Sparse{Idx: idx, Val: val}, nil
+	}
+	return vec.SortedCopy(idx, val)
+}
+
+// canonical reports whether indices are non-negative and strictly
+// increasing — vec.NewSparse's invariant, checked without the error
+// plumbing.
+func canonical(idx []int) bool {
+	if len(idx) > 0 && idx[0] < 0 {
+		return false
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i-1] >= idx[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fanOut runs fn over [0, n) split into contiguous chunks across up
+// to workers goroutines and returns the first error. Each invocation
+// owns its range exclusively, so callers write disjoint output slots
+// without locking.
+func fanOut(n, workers int, fn func(lo, hi int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w, b := range engine.ShardBounds(n, workers) {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(lo, hi)
+		}(w, b[0], b[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScoreBatch scores decoded rows across up to workers goroutines. The
+// model is immutable and each goroutine writes a disjoint range of the
+// output, so the fan-out needs no locking.
+func (m *Model) ScoreBatch(rows []Row, workers int) ([]float64, error) {
+	labels := make([]float64, len(rows))
+	err := fanOut(len(rows), workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			y, err := m.Score(&rows[i])
+			if err != nil {
+				return fmt.Errorf("row %d: %w", i, err)
+			}
+			labels[i] = y
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return labels, nil
+}
+
+// ScoreBatchCSR scores a columnar sparse batch: row i is the
+// coordinate pairs idx[indptr[i]:indptr[i+1]] / val[...]. This is the
+// serving hot path's preferred encoding — the whole batch is three
+// JSON arrays, so decode cost per row collapses to the numbers
+// themselves, and canonical rows are scored zero-copy straight out of
+// the decoded arrays at O(rows·classes·nnz) total.
+func (m *Model) ScoreBatchCSR(indptr, idx []int, val []float64, workers int) ([]float64, error) {
+	if len(idx) != len(val) {
+		return nil, fmt.Errorf("idx/val length mismatch %d != %d", len(idx), len(val))
+	}
+	if len(indptr) < 2 || indptr[0] != 0 || indptr[len(indptr)-1] != len(idx) {
+		return nil, fmt.Errorf("indptr must start at 0 and end at len(idx)=%d", len(idx))
+	}
+	n := len(indptr) - 1
+	labels := make([]float64, n)
+	err := fanOut(n, workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			a, b := indptr[i], indptr[i+1]
+			if a < 0 || a > b || b > len(idx) {
+				return fmt.Errorf("row %d: indptr not monotone", i)
+			}
+			y, err := m.scoreSparse(idx[a:b], val[a:b])
+			if err != nil {
+				return fmt.Errorf("row %d: %w", i, err)
+			}
+			labels[i] = y
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return labels, nil
+}
+
+// scoreBatchRaw scores the row-object batch form: the handler decodes
+// only the request frame, and the per-row JSON decoding — the dominant
+// per-row cost of this form — is fanned out across the scoring workers
+// together with the arithmetic.
+func (m *Model) scoreBatchRaw(rows []json.RawMessage, workers int) ([]float64, error) {
+	labels := make([]float64, len(rows))
+	err := fanOut(len(rows), workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			// Same strictness as /predict's frame decoder: a typo'd
+			// field must be a 400, not a silently dropped key.
+			var row Row
+			dec := json.NewDecoder(bytes.NewReader(rows[i]))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&row); err != nil {
+				return fmt.Errorf("row %d: %w", i, err)
+			}
+			y, err := m.Score(&row)
+			if err != nil {
+				return fmt.Errorf("row %d: %w", i, err)
+			}
+			labels[i] = y
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return labels, nil
+}
+
+// PackCSR packs sparse wire rows into the columnar batch form
+// (indptr/idx/val) — the documented client-side encoding for
+// /predict/batch's throughput path. Dense rows are rejected: the
+// columnar form carries coordinates only.
+func PackCSR(rows []Row) (indptr, idx []int, val []float64, err error) {
+	indptr = make([]int, 1, len(rows)+1)
+	for i := range rows {
+		if rows[i].X != nil {
+			return nil, nil, nil, fmt.Errorf("row %d: dense rows cannot pack into CSR form", i)
+		}
+		idx = append(idx, rows[i].Idx...)
+		val = append(val, rows[i].Val...)
+		indptr = append(indptr, len(idx))
+	}
+	return indptr, idx, val, nil
+}
+
+// Config tunes the prediction service.
+type Config struct {
+	// Workers is the number of goroutines scoring each batch request
+	// (default 1: the caller's goroutine; the HTTP server already runs
+	// one goroutine per connection).
+	Workers int
+	// MaxBatch caps rows per /predict/batch request (default 8192).
+	MaxBatch int
+	// MaxBody caps the request body in bytes (default 32 MiB).
+	MaxBody int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 8192
+	}
+	if c.MaxBody < 1 {
+		c.MaxBody = 32 << 20
+	}
+	return c
+}
+
+// Server is the HTTP prediction service over a registry. It holds no
+// mutable state of its own: all synchronization lives in the registry.
+type Server struct {
+	reg *Registry
+	cfg Config
+}
+
+// New builds a prediction service over the registry.
+func New(reg *Registry, cfg Config) *Server {
+	return &Server{reg: reg, cfg: cfg.withDefaults()}
+}
+
+// Handler returns the service's route table:
+//
+//	POST /predict        {"x":[...]} or {"idx":[...],"val":[...]} (+"model")
+//	POST /predict/batch  {"rows":[...]} or columnar {"indptr":[...],"idx":[...],"val":[...]} (+"model")
+//	GET  /healthz        load-balancer health: 200 iff a live model is set
+//	GET  /modelz         registry introspection
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("POST /predict/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /modelz", s.handleModelz)
+	return mux
+}
+
+type predictRequest struct {
+	// Model selects a named version; empty means the live model.
+	Model string `json:"model,omitempty"`
+	Row
+}
+
+type predictResponse struct {
+	Model string  `json:"model"`
+	Label float64 `json:"label"`
+}
+
+// batchRequest carries one of two batch encodings: a "rows" list of
+// per-row objects (kept raw at the frame level so scoreBatchRaw can
+// decode them inside the worker fan-out), or the columnar CSR triple
+// "indptr"/"idx"/"val" — the high-throughput form.
+type batchRequest struct {
+	Model  string            `json:"model,omitempty"`
+	Rows   []json.RawMessage `json:"rows,omitempty"`
+	Indptr []int             `json:"indptr,omitempty"`
+	Idx    []int             `json:"idx,omitempty"`
+	Val    []float64         `json:"val,omitempty"`
+}
+
+type batchResponse struct {
+	Model  string    `json:"model"`
+	Labels []float64 `json:"labels"`
+}
+
+type healthResponse struct {
+	Status string `json:"status"`
+	Live   string `json:"live,omitempty"`
+	Models int    `json:"models"`
+}
+
+type modelInfo struct {
+	Name      string            `json:"name"`
+	Dim       int               `json:"dim"`
+	Classes   int               `json:"classes"`
+	Live      bool              `json:"live"`
+	Published time.Time         `json:"published"`
+	Meta      map[string]string `json:"meta,omitempty"`
+}
+
+type modelzResponse struct {
+	Live   string      `json:"live,omitempty"`
+	Models []modelInfo `json:"models"`
+}
+
+// model resolves the version a request addresses: a named one, or the
+// live model (one atomic load, no lock).
+func (s *Server) model(name string) (*Model, int, error) {
+	if name != "" {
+		m, ok := s.reg.Get(name)
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("no model %q", name)
+		}
+		return m, 0, nil
+	}
+	m := s.reg.Live()
+	if m == nil {
+		return nil, http.StatusServiceUnavailable, errors.New("no live model")
+	}
+	return m, 0, nil
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	m, code, err := s.model(req.Model)
+	if err != nil {
+		httpError(w, code, "%v", err)
+		return
+	}
+	y, err := m.Score(&req.Row)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{Model: m.Name, Label: y})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	csr := req.Indptr != nil || req.Idx != nil || req.Val != nil
+	if csr && req.Rows != nil {
+		httpError(w, http.StatusBadRequest, `batch has both "rows" and columnar form`)
+		return
+	}
+	n := len(req.Rows)
+	if csr {
+		if len(req.Indptr) == 0 {
+			httpError(w, http.StatusBadRequest, `columnar batch is missing "indptr"`)
+			return
+		}
+		n = len(req.Indptr) - 1
+	}
+	if n <= 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if n > s.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d rows exceeds limit %d", n, s.cfg.MaxBatch)
+		return
+	}
+	m, code, err := s.model(req.Model)
+	if err != nil {
+		httpError(w, code, "%v", err)
+		return
+	}
+	var labels []float64
+	if csr {
+		labels, err = m.ScoreBatchCSR(req.Indptr, req.Idx, req.Val, s.cfg.Workers)
+	} else {
+		labels, err = m.scoreBatchRaw(req.Rows, s.cfg.Workers)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Model: m.Name, Labels: labels})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := healthResponse{Models: s.reg.Len()}
+	if m := s.reg.Live(); m != nil {
+		resp.Status, resp.Live = "ok", m.Name
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp.Status = "no live model"
+	writeJSON(w, http.StatusServiceUnavailable, resp)
+}
+
+func (s *Server) handleModelz(w http.ResponseWriter, _ *http.Request) {
+	live := s.reg.Live()
+	resp := modelzResponse{Models: []modelInfo{}}
+	if live != nil {
+		resp.Live = live.Name
+	}
+	for _, m := range s.reg.Models() {
+		resp.Models = append(resp.Models, modelInfo{
+			Name: m.Name, Dim: m.Dim, Classes: m.Classes,
+			Live: m == live, Published: m.Published, Meta: m.Meta,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
