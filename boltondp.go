@@ -7,26 +7,46 @@
 //
 // The package is a thin facade over the implementation packages under
 // internal/; it exposes everything a downstream user needs to train
-// private linear models:
+// private linear models. The primary entry point is TrainCtx: a
+// context-aware, functional-options trainer that draws its privacy
+// budget from an Accountant — the single owner of a total (ε, δ)
+// budget, which debits every training run in an auditable ledger and
+// fails closed when a request would overdraw it:
 //
+//	acct, _ := boltondp.NewAccountant(boltondp.Budget{Epsilon: 0.1})
 //	train, test := boltondp.ProteinSim(rand.New(rand.NewSource(1)), 1.0)
-//	res, err := boltondp.Train(train, boltondp.NewLogisticLoss(1e-3), boltondp.TrainOptions{
-//		Budget: boltondp.Budget{Epsilon: 0.1},
-//		Passes: 10, Batch: 50, Radius: 1000,
-//		Rand:   rand.New(rand.NewSource(2)),
-//	})
-//	// res.W is (ε = 0.1)-differentially private.
+//	res, err := boltondp.TrainCtx(ctx, train, boltondp.NewLogisticLoss(1e-3),
+//		boltondp.WithAccountant(acct), // or boltondp.WithBudget(...) stand-alone
+//		boltondp.WithPasses(10), boltondp.WithBatch(50), boltondp.WithRadius(1000),
+//		boltondp.WithRand(rand.New(rand.NewSource(2))))
+//	// res.W is (ε = 0.1)-differentially private; acct.Ledger() is the
+//	// audited record of the spend, and cancelling ctx stops the run
+//	// within one epoch slice.
+//
+// Composite workflows — the one-vs-all multiclass build of §4.3, the
+// private tuning of Algorithm 3 — split the accountant's budget with
+// Accountant.Split, which enforces that the pieces sum to the stated
+// guarantee; StampMeta serializes the ledger into model metadata so a
+// published model carries its own privacy audit (round-tripped by the
+// serving subsystem's /modelz endpoint).
+//
+// The legacy form Train(s, f, TrainOptions{...}) remains supported and
+// is equivalent (TrainCtx builds a TrainOptions under the hood); it
+// predates the accountant and does not record spends unless
+// TrainOptions.Accountant is set.
 //
 // The white-box baselines the paper compares against (SCS13, BST14),
 // the Bismarck-style in-RDBMS substrate, the private tuning algorithm
 // and the full experiment harness are re-exported alongside. See
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// DESIGN.md for the system inventory (§6 for budget accounting and
+// cancellation) and EXPERIMENTS.md for the paper-vs-measured record.
 package boltondp
 
 import (
+	"context"
 	"math/rand"
 
+	"boltondp/internal/account"
 	"boltondp/internal/baselines"
 	"boltondp/internal/bismarck"
 	"boltondp/internal/core"
@@ -66,8 +86,21 @@ type (
 	LossFunction = loss.Function
 	// TrainOptions configures the private bolt-on trainers.
 	TrainOptions = core.Options
+	// TrainOption is a functional option for TrainCtx (WithBudget,
+	// WithAccountant, WithStrategy, WithProgress, …).
+	TrainOption = core.Option
 	// TrainResult reports a private training run; only W is private.
 	TrainResult = core.Result
+	// Accountant owns a total (ε, δ) privacy budget: every training run
+	// that draws from it is debited in an auditable ledger, and a
+	// request exceeding the remainder fails closed (ErrBudgetOverdraw)
+	// before any training work.
+	Accountant = account.Accountant
+	// LedgerEntry is one audited spend in an Accountant's ledger.
+	LedgerEntry = account.Entry
+	// Ledger is the serializable accountant snapshot a released model
+	// carries in its metadata (under LedgerMetaKey).
+	Ledger = account.Ledger
 	// BaselineOptions configures the comparison algorithms.
 	BaselineOptions = baselines.Options
 	// BaselineResult reports a baseline run.
@@ -149,12 +182,97 @@ func NewStream(seed int64, m, d int, spread, flip float64) *Stream {
 	return data.NewStream(seed, m, d, spread, flip)
 }
 
+// Budget accounting (see DESIGN.md §6).
+
+// ErrBudgetOverdraw is wrapped by every reservation an Accountant
+// refuses because it would exceed the remaining budget; test with
+// errors.Is. The refused computation never runs.
+var ErrBudgetOverdraw = account.ErrOverdraw
+
+// LedgerMetaKey is the model-metadata key under which an accountant's
+// ledger is persisted (SaveClassifier files, registry models, /modelz).
+const LedgerMetaKey = account.MetaKey
+
+// NewAccountant returns an accountant owning the given total budget.
+// Draw training spends from it with WithAccountant, split it across
+// composite workflows (one-vs-all classes, tuning candidates) with
+// Accountant.Split, and stamp its ledger into released-model metadata
+// with Accountant.StampMeta.
+func NewAccountant(total Budget) (*Accountant, error) { return account.New(total) }
+
+// ParseLedger decodes a ledger serialized by Accountant.StampMeta.
+func ParseLedger(s string) (*Ledger, error) { return account.ParseLedger(s) }
+
+// LedgerFromMeta extracts the ledger a model-metadata map carries; ok
+// is false when the model was not published through an accountant.
+func LedgerFromMeta(meta map[string]string) (l *Ledger, ok bool, err error) {
+	return account.LedgerFromMeta(meta)
+}
+
 // Training.
+
+// TrainCtx is the primary training entry point: bolt-on private PSGD
+// (Algorithm 2 when the loss is strongly convex, Algorithm 1
+// otherwise), configured by functional options and cancellable through
+// ctx — every execution strategy polls the context once per mini-batch
+// update, so cancellation or deadline expiry stops the run within one
+// epoch slice with ctx.Err().
+func TrainCtx(ctx context.Context, s Samples, f LossFunction, opts ...TrainOption) (*TrainResult, error) {
+	return core.TrainCtx(ctx, s, f, opts...)
+}
+
+// WithBudget sets the privacy budget the released model is calibrated
+// to. Combined with WithAccountant the budget is reserved (fail-closed)
+// against the accountant before training.
+func WithBudget(b Budget) TrainOption { return core.WithBudget(b) }
+
+// WithAccountant attaches the privacy-budget accountant the run draws
+// from; without WithBudget the entire remaining budget is drawn.
+func WithAccountant(a *Accountant) TrainOption { return core.WithAccountant(a) }
+
+// WithSpendLabel names the run's entry in the accountant's ledger
+// (default "train(<loss name>)").
+func WithSpendLabel(label string) TrainOption { return core.WithSpendLabel(label) }
+
+// WithPasses sets k, the number of passes over the data.
+func WithPasses(k int) TrainOption { return core.WithPasses(k) }
+
+// WithBatch sets the mini-batch size b.
+func WithBatch(b int) TrainOption { return core.WithBatch(b) }
+
+// WithRadius constrains the hypothesis space to the L2 ball of radius
+// r (the paper uses R = 1/λ for strongly convex losses).
+func WithRadius(r float64) TrainOption { return core.WithRadius(r) }
+
+// WithStrategy selects the execution strategy and its worker count
+// (workers only matters for StrategySharded).
+func WithStrategy(s ExecutionStrategy, workers int) TrainOption {
+	return core.WithStrategy(s, workers)
+}
+
+// WithRand sets the randomness source for permutations, worker seeds
+// and the privacy noise.
+func WithRand(r *rand.Rand) TrainOption { return core.WithRand(r) }
+
+// WithProgress installs a per-epoch observability hook: fn receives
+// the 1-based epoch number and the empirical risk of the current
+// pre-noise iterate. The risk values are NOT private — log them on the
+// trusted side only, never release them under the run's budget.
+func WithProgress(fn func(epoch int, risk float64)) TrainOption { return core.WithProgress(fn) }
+
+// WithTrainOptions seeds the run from a full TrainOptions value — the
+// escape hatch for fields without a dedicated option (step family,
+// averaging, Tol, …). Place it before the other options.
+func WithTrainOptions(base TrainOptions) TrainOption { return core.WithOptions(base) }
 
 // Train runs the bolt-on private PSGD appropriate for the loss:
 // Algorithm 2 when the loss is strongly convex, Algorithm 1 otherwise.
 // The execution strategy (sequential, sharded across workers, or
 // streaming) is selected by TrainOptions.Strategy and Workers.
+//
+// Train is the struct-literal form of TrainCtx and remains fully
+// supported; it accounts and cancels the same way when
+// TrainOptions.Accountant / Ctx are set.
 func Train(s Samples, f LossFunction, opt TrainOptions) (*TrainResult, error) {
 	return core.Train(s, f, opt)
 }
@@ -194,10 +312,18 @@ func BST14(s Samples, f LossFunction, opt BaselineOptions) (*BaselineResult, err
 func Accuracy(s Samples, c Classifier) float64 { return eval.Accuracy(s, c) }
 
 // TrainOneVsAll builds a multiclass model from per-class binary
-// trainers; callers should split the privacy budget across classes
-// with Budget.Split.
+// trainers; callers should split the privacy budget across classes —
+// preferably with Accountant.Split (enforced), or with Budget.Split
+// (caller-trusted).
 func TrainOneVsAll(s Samples, classes int, train eval.BinaryTrainer) (*OneVsAllClassifier, error) {
 	return eval.TrainOneVsAll(s, classes, train)
+}
+
+// TrainOneVsAllCtx is TrainOneVsAll made cancellable: ctx is checked
+// before each per-class run (and inside each run when the trainer uses
+// TrainCtx with the same ctx).
+func TrainOneVsAllCtx(ctx context.Context, s Samples, classes int, train eval.BinaryTrainer) (*OneVsAllClassifier, error) {
+	return eval.TrainOneVsAllCtx(ctx, s, classes, train)
 }
 
 // SaveClassifier writes a trained classifier to path as JSON; pass
@@ -260,9 +386,30 @@ func PrivateTune(d *Dataset, grid []TuningParams, budget Budget, train tuning.Tr
 	return tuning.Private(d, grid, budget, train, r)
 }
 
+// PrivateTuneCtx is PrivateTune made cancellable and accountable: ctx
+// is checked before each candidate's training run, and when acct is
+// non-nil the tuner's own spend — the ε of the exponential-mechanism
+// pick — is reserved against it (fail-closed) before any work. Pass a
+// TrainFunc built from a TrainOptions carrying the same ctx (e.g. via
+// TrainCtx inside the closure) to make the candidate runs themselves
+// cancellable too.
+func PrivateTuneCtx(ctx context.Context, d *Dataset, grid []TuningParams, budget Budget, acct *Accountant, train tuning.TrainFunc, r *rand.Rand) (*TuningResult, error) {
+	return tuning.PrivateCtx(ctx, d, grid, budget, acct, train, r)
+}
+
 // PublicTune tunes against a public validation set (§4.1).
 func PublicTune(train, public *Dataset, grid []TuningParams, fit tuning.TrainFunc) (*TuningResult, error) {
 	return tuning.Public(train, public, grid, fit)
+}
+
+// EngineTuningTrainFunc adapts Train (and through it the execution
+// engine) into a tuning TrainFunc for binary linear models: each grid
+// tuple's (k, b) become Passes/Batch, λ parameterizes the loss, and
+// base carries everything else — budget, strategy, randomness, and
+// (for PrivateTuneCtx) the context and accountant each candidate draws
+// from.
+func EngineTuningTrainFunc(newLoss func(lambda float64) LossFunction, base TrainOptions) tuning.TrainFunc {
+	return tuning.EngineTrainFunc(newLoss, base)
 }
 
 // Data.

@@ -5,7 +5,9 @@ package boltondp
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
@@ -396,4 +398,169 @@ func writeLIBSVMFixture(path string, d *Dataset) error {
 		b.WriteByte('\n')
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// The accountant-era primary path end to end, all through the facade:
+// NewAccountant → TrainCtx(WithAccountant, WithProgress) → StampMeta →
+// registry publish → /modelz carries a parseable ledger; then the
+// exhausted accountant fails closed and a cancelled context stops a
+// run mid-epoch.
+func TestFacadeAccountantTrainPublishModelz(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	train, test := ProteinSim(r, 0.1)
+	lambda := 0.05
+
+	acct, err := NewAccountant(Budget{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := 0
+	res, err := TrainCtx(context.Background(), train, NewLogisticLoss(lambda),
+		WithAccountant(acct),
+		WithPasses(5), WithBatch(50), WithRadius(1/lambda),
+		WithProgress(func(epoch int, risk float64) { epochs++ }),
+		WithRand(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs != 5 {
+		t.Errorf("progress epochs = %d, want 5", epochs)
+	}
+	if acc := Accuracy(test, &LinearClassifier{W: res.W}); acc < 0.6 {
+		t.Errorf("private accuracy %v", acc)
+	}
+	if rem := acct.Remaining(); rem.Epsilon != 0 {
+		t.Errorf("accountant not drained: %v", rem)
+	}
+
+	// The exhausted accountant refuses a second model: fail closed.
+	if _, err := TrainCtx(context.Background(), train, NewLogisticLoss(lambda),
+		WithAccountant(acct), WithBudget(Budget{Epsilon: 0.1}),
+		WithPasses(1), WithBatch(50), WithRadius(1/lambda), WithRand(r),
+	); !errors.Is(err, ErrBudgetOverdraw) {
+		t.Fatalf("second draw err = %v, want ErrBudgetOverdraw", err)
+	}
+
+	// Publish with the stamped ledger and read it back through /modelz.
+	meta := map[string]string{"loss": "logistic"}
+	if err := acct.StampMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewModelRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("protein", &LinearClassifier{W: res.W}, meta); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewModelServer(reg, ServeOptions{}).Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/modelz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mz struct {
+		Models []struct {
+			Meta map[string]string `json:"meta"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mz); err != nil {
+		t.Fatal(err)
+	}
+	if len(mz.Models) != 1 {
+		t.Fatalf("modelz models: %+v", mz.Models)
+	}
+	ledger, ok, err := LedgerFromMeta(mz.Models[0].Meta)
+	if err != nil || !ok {
+		t.Fatalf("modelz meta carries no ledger: ok=%v err=%v", ok, err)
+	}
+	if ledger.Total() != (Budget{Epsilon: 1}) || ledger.Spent() != (Budget{Epsilon: 1}) {
+		t.Errorf("ledger totals: %+v", ledger)
+	}
+	if len(ledger.Entries) != 1 || !strings.HasPrefix(ledger.Entries[0].Label, "train(") {
+		t.Errorf("ledger entries: %+v", ledger.Entries)
+	}
+
+	// Cancellation through the facade: a pre-cancelled context stops a
+	// fresh run before any pass completes.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TrainCtx(ctx, train, NewLogisticLoss(lambda),
+		WithBudget(Budget{Epsilon: 1}),
+		WithPasses(5), WithBatch(50), WithRadius(1/lambda), WithRand(r),
+	); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run err = %v, want context.Canceled", err)
+	}
+}
+
+// Accountant.Split drives the one-vs-all facade path with the shares
+// enforced, through TrainOneVsAllCtx.
+func TestFacadeAccountantOneVsAll(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	train, test := MNISTSim(r, 0.02)
+	proj := NewProjection(r, train.Dim(), 20)
+	p := &Dataset{Name: "p", Classes: train.Classes, Y: train.Y}
+	pt := &Dataset{Name: "pt", Classes: test.Classes, Y: test.Y}
+	for _, x := range train.X {
+		p.X = append(p.X, proj.Apply(x))
+	}
+	for _, x := range test.X {
+		pt.X = append(pt.X, proj.Apply(x))
+	}
+
+	acct, err := NewAccountant(Budget{Epsilon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := acct.Split("onevsall", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := 0.05
+	m, err := TrainOneVsAllCtx(context.Background(), p, 10, func(view Samples, class int) ([]float64, error) {
+		res, err := TrainCtx(context.Background(), view, NewLogisticLoss(lambda),
+			WithBudget(per[class]),
+			WithPasses(3), WithBatch(50), WithRadius(1/lambda), WithRand(r))
+		if err != nil {
+			return nil, err
+		}
+		return res.W, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The task is tiny (1.2k rows, ε=1 per class), so just require
+	// clearly-better-than-random: the test pins the API mechanics and
+	// the enforced split, not the accuracy frontier.
+	if acc := Accuracy(pt, m); acc < 0.15 {
+		t.Errorf("one-vs-all accuracy %v (random = 0.1)", acc)
+	}
+	if l := acct.Ledger(); len(l.Entries) != 10 {
+		t.Errorf("ledger entries: %d, want 10", len(l.Entries))
+	}
+}
+
+// PrivateTuneCtx through the facade, accountant attached.
+func TestFacadePrivateTuneCtx(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	train, _ := ProteinSim(r, 0.2)
+	acct, err := NewAccountant(Budget{Epsilon: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambdaLoss := func(lambda float64) LossFunction { return NewLogisticLoss(lambda) }
+	fit := EngineTuningTrainFunc(lambdaLoss, TrainOptions{
+		Budget: Budget{Epsilon: 0.5}, Rand: r,
+	})
+	res, err := PrivateTuneCtx(context.Background(), train, PaperTuningGrid(), Budget{Epsilon: 1}, acct, fit, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model == nil {
+		t.Fatal("nil tuned model")
+	}
+	if got := acct.Spent(); got.Epsilon != 1 {
+		t.Errorf("tuner spend: %v", got)
+	}
 }

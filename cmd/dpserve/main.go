@@ -9,14 +9,21 @@
 //
 // Endpoints: POST /predict (one row, dense "x" or sparse "idx"/"val"),
 // POST /predict/batch (amortized scoring; sparse rows go through the
-// O(rows·classes·nnz) sparse tier), GET /healthz, GET /modelz. See
-// internal/serve for the subsystem and DESIGN.md §5 for its
+// O(rows·classes·nnz) sparse tier), GET /healthz, GET /modelz (which
+// includes each model's privacy-budget ledger when it was published
+// through an accountant). SIGINT/SIGTERM shuts the server down
+// gracefully: the listener closes, in-flight requests drain, and
+// running batch scorings are cancelled through their request contexts.
+// See internal/serve for the subsystem and DESIGN.md §5–6 for its
 // invariants.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"boltondp/internal/cli"
 )
@@ -27,7 +34,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dpserve: %v\n", err)
 		os.Exit(2)
 	}
-	if err := cli.RunDPServe(cfg, os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := cli.RunDPServeCtx(ctx, cfg, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "dpserve: %v\n", err)
 		os.Exit(1)
 	}

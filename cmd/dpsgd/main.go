@@ -9,14 +9,23 @@
 //	dpsgd -data train.libsvm -eps 1 -delta 1e-6 -algo bst14
 //	dpsgd -sim kdd -algo noiseless -save model.json
 //	dpsgd -sim kdd -eps 1 -publish ./registry   # then: dpserve -models ./registry
+//	dpsgd -sim higgs -scale 1 -timeout 2m       # deadline the run
 //
 // Algorithms: ours (bolt-on output perturbation, the default),
-// noiseless, scs13, bst14. See internal/cli for the implementation.
+// noiseless, scs13, bst14. A SIGINT/SIGTERM (or -timeout expiry)
+// cancels training through the engine's context plumbing: the process
+// exits within one epoch slice instead of finishing the remaining
+// passes. Private runs draw their budget from a privacy-budget
+// accountant, so -save/-publish model files carry an audited spend
+// ledger in their metadata. See internal/cli for the implementation.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"boltondp/internal/cli"
 )
@@ -26,7 +35,9 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
-	if err := cli.RunDPSGD(cfg, os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := cli.RunDPSGDCtx(ctx, cfg, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "dpsgd: %v\n", err)
 		os.Exit(1)
 	}

@@ -3,17 +3,29 @@
 // train ten one-vs-all binary models with the privacy budget split
 // evenly across them (simple composition), and compare against the
 // noiseless baseline.
+//
+// The split is drawn from a privacy-budget accountant: Split hands out
+// the ten per-class shares AND debits them, so the ten sub-models
+// provably sum to the stated ε = 10 guarantee — a stray eleventh draw
+// from the same accountant fails closed. The whole build is
+// cancellable through the context passed to TrainOneVsAllCtx/TrainCtx.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
 
 	"boltondp"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	r := rand.New(rand.NewSource(3))
 
 	// MNIST-sized task: 10 classes, 784 raw dimensions. Scale 0.1 ⇒
@@ -35,14 +47,26 @@ func main() {
 
 	lambda := 0.05
 	f := boltondp.NewLogisticLoss(lambda)
-	total := boltondp.Budget{Epsilon: 10} // split ten ways below
-	perClass := total.Split(10)
-	fmt.Printf("total budget %v → per-class budget %v\n", total, perClass)
 
-	private, err := boltondp.TrainOneVsAll(train, 10, func(view boltondp.Samples, class int) ([]float64, error) {
-		res, err := boltondp.Train(view, f, boltondp.TrainOptions{
-			Budget: perClass, Passes: 10, Batch: 50, Radius: 1 / lambda, Rand: r,
-		})
+	// The accountant owns the total ε = 10; Split debits ten equal
+	// per-class shares in one auditable ledger (simple composition).
+	acct, err := boltondp.NewAccountant(boltondp.Budget{Epsilon: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	perClass, err := acct.Split("onevsall", 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total budget %v → per-class budget %v (ledger: %d entries)\n",
+		acct.Total(), perClass[0], len(acct.Ledger().Entries))
+
+	private, err := boltondp.TrainOneVsAllCtx(ctx, train, 10, func(view boltondp.Samples, class int) ([]float64, error) {
+		res, err := boltondp.TrainCtx(ctx, view, f,
+			boltondp.WithBudget(perClass[class]),
+			boltondp.WithSpendLabel(fmt.Sprintf("class %d", class)),
+			boltondp.WithPasses(10), boltondp.WithBatch(50),
+			boltondp.WithRadius(1/lambda), boltondp.WithRand(r))
 		if err != nil {
 			return nil, err
 		}
@@ -52,9 +76,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	noiseless, err := boltondp.TrainOneVsAll(train, 10, func(view boltondp.Samples, class int) ([]float64, error) {
+	noiseless, err := boltondp.TrainOneVsAllCtx(ctx, train, 10, func(view boltondp.Samples, class int) ([]float64, error) {
 		res, err := boltondp.NoiselessSGD(view, f, boltondp.BaselineOptions{
-			Passes: 10, Batch: 50, Radius: 1 / lambda, Rand: r,
+			Passes: 10, Batch: 50, Radius: 1 / lambda, Rand: r, Ctx: ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -67,4 +91,8 @@ func main() {
 
 	fmt.Printf("noiseless test accuracy: %.4f\n", boltondp.Accuracy(test, noiseless))
 	fmt.Printf("ε=10 private accuracy:   %.4f\n", boltondp.Accuracy(test, private))
+
+	// Back-compat note: budget shares can still be cut by hand with
+	// total.Split(10) (dp.Budget.Split) — the accountant form above is
+	// the same arithmetic with the summing enforced and audited.
 }

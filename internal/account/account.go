@@ -1,0 +1,276 @@
+// Package account implements the privacy-budget accountant: a single
+// owner for a total (ε, δ) differential-privacy budget from which every
+// private computation in a workflow must draw its spend.
+//
+// The paper's own workflows compose many private releases — the private
+// tuning procedure of Algorithm 3 trains one candidate per grid point,
+// the one-vs-all construction of §4.3 trains one binary model per class
+// — and their end-to-end guarantee is the simple-composition sum of the
+// pieces ([17] in the paper): running computations A₁…A_n with budgets
+// (ε₁, δ₁)…(ε_n, δ_n) on the same dataset is (Σεᵢ, Σδᵢ)-differentially
+// private. dp.Budget.Split hands a caller equal shares under that
+// theorem, but nothing stops a buggy caller from splitting twice, or
+// from spending a share and the whole.
+//
+// The Accountant closes that hole structurally:
+//
+//   - it owns the total budget and debits every Reserve/Split against
+//     the remainder under simple composition;
+//   - it FAILS CLOSED — a request that would push the cumulative spend
+//     past the total returns ErrOverdraw and debits nothing, so an
+//     over-budget training run errors before it touches a single row;
+//   - every successful debit is recorded in an auditable ledger that
+//     travels with the released model (eval.SaveClassifier metadata,
+//     serve.Registry.Publish, the /modelz endpoint), so the privacy
+//     statement a model file carries is the accountant's record, not a
+//     hand-maintained string.
+//
+// Accountants are safe for concurrent use: sharded training strategies
+// and parallel tuning candidates may draw from one accountant from
+// multiple goroutines.
+package account
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"boltondp/internal/dp"
+)
+
+// ErrOverdraw is wrapped by every reservation the accountant refuses
+// because it would exceed the remaining budget. Test with errors.Is.
+var ErrOverdraw = errors.New("account: reservation exceeds the remaining privacy budget")
+
+// slack is the relative floating-point tolerance of the overdraw test:
+// n children produced by Budget.Split(n) must always recombine into
+// their parent even though ε/n summed n times can exceed ε by rounding.
+const slack = 1e-9
+
+// Entry is one audited spend in an accountant's ledger.
+type Entry struct {
+	// Label says what the spend paid for, e.g. "train(logistic(λ=0.001))"
+	// or "tune". Labels need not be unique.
+	Label string `json:"label"`
+	// Epsilon and Delta are the debited budget.
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta,omitempty"`
+	// At is when the reservation was granted.
+	At time.Time `json:"at"`
+}
+
+// Budget returns the entry's debit as a dp.Budget.
+func (e Entry) Budget() dp.Budget { return dp.Budget{Epsilon: e.Epsilon, Delta: e.Delta} }
+
+// Accountant owns a total (ε, δ) budget and debits every reservation
+// against it under simple composition. The zero value is unusable; use
+// New.
+type Accountant struct {
+	mu       sync.Mutex
+	total    dp.Budget
+	spentEps float64
+	spentDel float64
+	entries  []Entry
+}
+
+// New returns an accountant owning the given total budget.
+func New(total dp.Budget) (*Accountant, error) {
+	if err := total.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accountant{total: total}, nil
+}
+
+// MustNew is New for statically-correct budgets; it panics on error.
+func MustNew(total dp.Budget) *Accountant {
+	a, err := New(total)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Total returns the budget the accountant was created with.
+func (a *Accountant) Total() dp.Budget {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Spent returns the cumulative debited budget (simple composition:
+// both ε and δ sum across reservations).
+func (a *Accountant) Spent() dp.Budget {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return dp.Budget{Epsilon: a.spentEps, Delta: a.spentDel}
+}
+
+// Remaining returns the budget still available for reservations,
+// clamped at zero.
+func (a *Accountant) Remaining() dp.Budget {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.remainingLocked()
+}
+
+func (a *Accountant) remainingLocked() dp.Budget {
+	rem := dp.Budget{
+		Epsilon: a.total.Epsilon - a.spentEps,
+		Delta:   a.total.Delta - a.spentDel,
+	}
+	if rem.Epsilon < 0 {
+		rem.Epsilon = 0
+	}
+	if rem.Delta < 0 {
+		rem.Delta = 0
+	}
+	return rem
+}
+
+// Reserve debits b from the remaining budget and records the spend
+// under label. It fails closed: when the request would exceed the
+// remainder (in ε or in δ) it returns an error wrapping ErrOverdraw and
+// debits nothing. A granted reservation is never refunded — the
+// accountant records intent to release, which is the conservative
+// reading of the composition theorem.
+func (a *Accountant) Reserve(label string, b dp.Budget) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if exceeds(a.spentEps+b.Epsilon, a.total.Epsilon) || exceeds(a.spentDel+b.Delta, a.total.Delta) {
+		rem := a.remainingLocked()
+		return fmt.Errorf("%w: requested %v for %q, remaining %v of total %v",
+			ErrOverdraw, b, label, rem, a.total)
+	}
+	a.spentEps += b.Epsilon
+	a.spentDel += b.Delta
+	a.entries = append(a.entries, Entry{
+		Label: label, Epsilon: b.Epsilon, Delta: b.Delta, At: time.Now(),
+	})
+	return nil
+}
+
+// exceeds reports spent > limit beyond floating-point slack: the
+// relative tolerance lets Split children recombine exactly into their
+// parent, while anything materially above the limit is refused.
+func exceeds(spent, limit float64) bool {
+	return spent > limit*(1+slack)
+}
+
+// Split reserves n equal child budgets drawn from the ENTIRE remaining
+// budget — the simple-composition split the paper's §4.3 prescribes for
+// one-vs-all sub-models, with the accountant enforcing that the pieces
+// sum to the stated guarantee. Each child is Remaining()/n; the whole
+// remainder is debited in one ledger entry per child (labelled
+// "label[i/n]"). After a successful Split the accountant is exhausted.
+func (a *Accountant) Split(label string, n int) ([]dp.Budget, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("account: Split over %d parts", n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rem := a.remainingLocked()
+	if rem.Epsilon <= 0 {
+		return nil, fmt.Errorf("%w: Split(%q, %d) with no remaining budget (total %v, spent %v)",
+			ErrOverdraw, label, n, a.total, dp.Budget{Epsilon: a.spentEps, Delta: a.spentDel})
+	}
+	child := rem.Split(n)
+	out := make([]dp.Budget, n)
+	now := time.Now()
+	for i := range out {
+		out[i] = child
+		a.entries = append(a.entries, Entry{
+			Label: fmt.Sprintf("%s[%d/%d]", label, i+1, n), Epsilon: child.Epsilon, Delta: child.Delta, At: now,
+		})
+	}
+	// Debit the remainder exactly, not child×n, so rounding can never
+	// leave a sliver that a later reservation stretches past the total.
+	a.spentEps = a.total.Epsilon
+	a.spentDel = a.total.Delta
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Ledger serialization: the auditable record a released model carries.
+// ---------------------------------------------------------------------
+
+// MetaKey is the model-metadata key under which the ledger is persisted
+// (eval.SaveClassifier meta, serve registry files, /modelz responses).
+const MetaKey = "dp.ledger"
+
+// Ledger is the serializable snapshot of an accountant: the total
+// budget, the cumulative spend, and every granted reservation.
+type Ledger struct {
+	TotalEpsilon float64 `json:"total_epsilon"`
+	TotalDelta   float64 `json:"total_delta,omitempty"`
+	SpentEpsilon float64 `json:"spent_epsilon"`
+	SpentDelta   float64 `json:"spent_delta,omitempty"`
+	Entries      []Entry `json:"entries"`
+}
+
+// Total returns the ledger's total budget.
+func (l *Ledger) Total() dp.Budget {
+	return dp.Budget{Epsilon: l.TotalEpsilon, Delta: l.TotalDelta}
+}
+
+// Spent returns the ledger's cumulative spend.
+func (l *Ledger) Spent() dp.Budget {
+	return dp.Budget{Epsilon: l.SpentEpsilon, Delta: l.SpentDelta}
+}
+
+// Ledger snapshots the accountant's current state.
+func (a *Accountant) Ledger() *Ledger {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l := &Ledger{
+		TotalEpsilon: a.total.Epsilon, TotalDelta: a.total.Delta,
+		SpentEpsilon: a.spentEps, SpentDelta: a.spentDel,
+		Entries: make([]Entry, len(a.entries)),
+	}
+	copy(l.Entries, a.entries)
+	return l
+}
+
+// StampMeta records the accountant's ledger (and a human-readable
+// summary of the spend) into a model-metadata map, under MetaKey. Pass
+// the result to eval.SaveClassifier or serve.Registry.Publish so the
+// released model file carries its audited privacy statement; /modelz
+// round-trips it.
+func (a *Accountant) StampMeta(meta map[string]string) error {
+	l := a.Ledger()
+	data, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("account: %w", err)
+	}
+	meta[MetaKey] = string(data)
+	meta["dp.total"] = l.Total().String()
+	meta["dp.spent"] = l.Spent().String()
+	return nil
+}
+
+// ParseLedger decodes a ledger serialized by StampMeta.
+func ParseLedger(s string) (*Ledger, error) {
+	var l Ledger
+	if err := json.Unmarshal([]byte(s), &l); err != nil {
+		return nil, fmt.Errorf("account: parsing ledger: %w", err)
+	}
+	return &l, nil
+}
+
+// LedgerFromMeta extracts and decodes the ledger a StampMeta-stamped
+// metadata map carries. ok is false when the map holds no ledger.
+func LedgerFromMeta(meta map[string]string) (l *Ledger, ok bool, err error) {
+	s, ok := meta[MetaKey]
+	if !ok {
+		return nil, false, nil
+	}
+	l, err = ParseLedger(s)
+	if err != nil {
+		return nil, true, err
+	}
+	return l, true, nil
+}

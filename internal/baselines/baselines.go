@@ -21,11 +21,13 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"boltondp/internal/account"
 	"boltondp/internal/dp"
 	"boltondp/internal/engine"
 	"boltondp/internal/loss"
@@ -57,6 +59,25 @@ type Options struct {
 	Workers int
 	// Rand is the randomness source (permutations, sampling, noise).
 	Rand *rand.Rand
+	// Ctx, when non-nil, makes the run cancellable: every baseline
+	// checks it once per mini-batch update (the engine-backed ones
+	// through sgd.Config.Ctx, BST14 inside its own loop) and returns
+	// ctx.Err() on cancellation.
+	Ctx context.Context
+	// Accountant, when non-nil, is the privacy-budget accountant the
+	// private baselines (SCS13, BST14) reserve Budget from before any
+	// training work, failing closed on overdraw. Noiseless spends no
+	// privacy and never draws from it.
+	Accountant *account.Accountant
+}
+
+// reserve debits the run's budget from its accountant under label, when
+// one is attached.
+func (o *Options) reserve(label string) error {
+	if o.Accountant == nil {
+		return nil
+	}
+	return o.Accountant.Reserve(label, o.Budget)
 }
 
 func (o *Options) withDefaults() Options {
@@ -118,7 +139,7 @@ func Noiseless(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 		Workers:  o.Workers,
 		SGD: sgd.Config{
 			Loss: f, Step: step, Passes: o.Passes, Batch: o.Batch,
-			Radius: o.Radius, Rand: o.Rand,
+			Radius: o.Radius, Rand: o.Rand, Ctx: o.Ctx,
 		},
 	})
 	if err != nil {
@@ -149,6 +170,9 @@ func SCS13(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 	if m == 0 {
 		return nil, errors.New("baselines: empty training set")
 	}
+	if err := o.reserve("scs13"); err != nil {
+		return nil, err
+	}
 	p := f.Params()
 	perPass := o.Budget.Split(o.Passes)
 	sens := 2 * p.L / float64(o.Batch)
@@ -170,7 +194,7 @@ func SCS13(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 		Strategy: engine.Sequential, // white-box noise is sequential-only
 		SGD: sgd.Config{
 			Loss: f, Step: sgd.InvSqrtT(1), Passes: o.Passes, Batch: o.Batch,
-			Radius: o.Radius, Rand: o.Rand, GradNoise: hook,
+			Radius: o.Radius, Rand: o.Rand, GradNoise: hook, Ctx: o.Ctx,
 		},
 	})
 	if err != nil {
@@ -253,6 +277,9 @@ func bst14(s sgd.Samples, f loss.Function, opt Options, stronglyConvex bool) (*R
 	if b > m {
 		b = m
 	}
+	if err := o.reserve("bst14"); err != nil {
+		return nil, err
+	}
 	T, sigma := bst14Noise(o.Budget.Epsilon, o.Budget.Delta, o.Passes, m, b)
 	// G bounds the norm of the noisy summed batch gradient (Alg 4,
 	// line 12): √(dσ² + b²L²).
@@ -264,6 +291,11 @@ func bst14(s sgd.Samples, f loss.Function, opt Options, stronglyConvex bool) (*R
 	z := make([]float64, d)
 	draws := 0
 	for t := 1; t <= T; t++ {
+		if o.Ctx != nil {
+			if err := o.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		vec.Zero(grad)
 		for i := 0; i < b; i++ {
 			// Line 10: i_t ~ [m] uniformly (with replacement).

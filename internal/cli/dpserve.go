@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -112,6 +113,15 @@ func modelStem(path string) string {
 // cfg.Addr, announces the bound address on out and serves until the
 // listener fails.
 func RunDPServe(cfg *DPServeConfig, out io.Writer) error {
+	return RunDPServeCtx(context.Background(), cfg, out)
+}
+
+// RunDPServeCtx is RunDPServe under a context: when ctx is cancelled
+// (SIGINT/SIGTERM in cmd/dpserve) the server shuts down gracefully —
+// the listener closes, in-flight requests get a drain window, and the
+// per-request contexts of any still-running batch scorings are
+// cancelled so they release their workers immediately.
+func RunDPServeCtx(ctx context.Context, cfg *DPServeConfig, out io.Writer) error {
 	reg, srv, err := BuildDPServe(cfg)
 	if err != nil {
 		return err
@@ -132,6 +142,28 @@ func RunDPServe(cfg *DPServeConfig, out io.Writer) error {
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,
+		// Request contexts inherit ctx, so shutdown (and anything else
+		// that cancels ctx) propagates into in-flight batch scorings.
+		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
-	return hs.Serve(ln)
+	serveDone := make(chan struct{})
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(out, "dpserve: shutting down")
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			hs.Shutdown(sctx) //nolint:errcheck // best-effort drain; Serve's error is the report
+		case <-serveDone:
+		}
+	}()
+	err = hs.Serve(ln)
+	close(serveDone)
+	<-shutdownDone // a triggered Shutdown finishes draining before we return
+	if errors.Is(err, http.ErrServerClosed) && ctx.Err() != nil {
+		return nil
+	}
+	return err
 }

@@ -4,11 +4,14 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
+	"boltondp/internal/account"
 	"boltondp/internal/baselines"
 	"boltondp/internal/core"
 	"boltondp/internal/data"
@@ -38,6 +41,7 @@ type DPSGDConfig struct {
 	Seed     int64
 	SavePath string
 	Publish  string
+	Timeout  time.Duration
 }
 
 // ParseDPSGD parses args (excluding argv[0]) into a config.
@@ -61,8 +65,12 @@ func ParseDPSGD(args []string, stderr io.Writer) (*DPSGDConfig, error) {
 	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	fs.StringVar(&cfg.SavePath, "save", "", "write the trained model (JSON) to this path")
 	fs.StringVar(&cfg.Publish, "publish", "", "publish the trained model into this registry directory (serve it with dpserve -models)")
+	fs.DurationVar(&cfg.Timeout, "timeout", 0, "cancel training after this duration, e.g. 30s or 2m (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if cfg.Timeout < 0 {
+		return nil, fmt.Errorf("cli: -timeout must be >= 0, got %v", cfg.Timeout)
 	}
 	return cfg, nil
 }
@@ -85,6 +93,19 @@ const sparseDensityThreshold = 0.25
 
 // RunDPSGD executes a parsed config, writing the report to out.
 func RunDPSGD(cfg *DPSGDConfig, out io.Writer) error {
+	return RunDPSGDCtx(context.Background(), cfg, out)
+}
+
+// RunDPSGDCtx is RunDPSGD under a context: ctx (plus cfg.Timeout, when
+// set) cancels the training run through the engine's per-update checks
+// — the command exits within one epoch slice of a SIGINT or deadline
+// instead of finishing the remaining passes.
+func RunDPSGDCtx(ctx context.Context, cfg *DPSGDConfig, out io.Writer) error {
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
 	if cfg.Publish != "" {
 		// Fail before training, not after: a rejected name would
 		// otherwise discard the whole run at the publish step.
@@ -166,13 +187,21 @@ func RunDPSGD(cfg *DPSGDConfig, out io.Writer) error {
 		return fmt.Errorf("cli: algorithm %q is white-box and sequential-only; drop -strategy/-workers", cfg.Algo)
 	}
 
+	// Every private run draws from an accountant so the released model
+	// carries an audited ledger (the -save/-publish metadata below).
+	var acct *account.Accountant
 	var w []float64
 	switch cfg.Algo {
 	case "ours":
-		res, err := core.Train(train, f, core.Options{
-			Budget: budget, Passes: passes, Batch: cfg.Batch, Radius: radius,
-			Strategy: strategy, Workers: cfg.Workers, Rand: r,
-		})
+		acct, err = account.New(budget)
+		if err != nil {
+			return err
+		}
+		res, err := core.TrainCtx(ctx, train, f,
+			core.WithAccountant(acct),
+			core.WithPasses(passes), core.WithBatch(cfg.Batch), core.WithRadius(radius),
+			core.WithStrategy(strategy, cfg.Workers),
+			core.WithRand(r))
 		if err != nil {
 			return err
 		}
@@ -182,15 +211,20 @@ func RunDPSGD(cfg *DPSGDConfig, out io.Writer) error {
 	case "noiseless":
 		res, err := baselines.Noiseless(train, f, baselines.Options{
 			Passes: passes, Batch: cfg.Batch, Radius: radius,
-			Strategy: strategy, Workers: cfg.Workers, Rand: r,
+			Strategy: strategy, Workers: cfg.Workers, Rand: r, Ctx: ctx,
 		})
 		if err != nil {
 			return err
 		}
 		w = res.W
 	case "scs13":
+		acct, err = account.New(budget)
+		if err != nil {
+			return err
+		}
 		res, err := baselines.SCS13(train, f, baselines.Options{
-			Budget: budget, Passes: cfg.Passes, Batch: cfg.Batch, Radius: radius, Rand: r,
+			Budget: budget, Passes: cfg.Passes, Batch: cfg.Batch, Radius: radius,
+			Rand: r, Ctx: ctx, Accountant: acct,
 		})
 		if err != nil {
 			return err
@@ -201,8 +235,13 @@ func RunDPSGD(cfg *DPSGDConfig, out io.Writer) error {
 		if radius <= 0 {
 			radius = 10
 		}
+		acct, err = account.New(budget)
+		if err != nil {
+			return err
+		}
 		res, err := baselines.BST14(train, f, baselines.Options{
-			Budget: budget, Passes: cfg.Passes, Batch: cfg.Batch, Radius: radius, Rand: r,
+			Budget: budget, Passes: cfg.Passes, Batch: cfg.Batch, Radius: radius,
+			Rand: r, Ctx: ctx, Accountant: acct,
 		})
 		if err != nil {
 			return err
@@ -224,6 +263,13 @@ func RunDPSGD(cfg *DPSGDConfig, out io.Writer) error {
 		"delta":     fmt.Sprint(cfg.Delta),
 		"passes":    fmt.Sprint(cfg.Passes),
 		"batch":     fmt.Sprint(cfg.Batch),
+	}
+	if acct != nil {
+		// The audited record of the spend travels with the model file;
+		// /modelz serves it back verbatim.
+		if err := acct.StampMeta(meta); err != nil {
+			return err
+		}
 	}
 	if cfg.SavePath != "" {
 		if err := eval.SaveClassifier(cfg.SavePath, model, meta); err != nil {

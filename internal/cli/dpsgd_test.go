@@ -2,12 +2,16 @@ package cli
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"boltondp/internal/account"
 	"boltondp/internal/eval"
 )
 
@@ -39,6 +43,89 @@ func TestParseDPSGDFlags(t *testing.T) {
 func TestParseDPSGDBadFlag(t *testing.T) {
 	if _, err := ParseDPSGD([]string{"-passes", "nope"}, io.Discard); err == nil {
 		t.Error("bad flag value accepted")
+	}
+}
+
+// The -timeout flag accepts Go duration syntax, defaults to no limit,
+// and rejects garbage and negative values.
+func TestParseDPSGDTimeout(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		args    []string
+		want    time.Duration
+		wantErr bool
+	}{
+		{name: "default is no limit", args: nil, want: 0},
+		{name: "seconds", args: []string{"-timeout", "30s"}, want: 30 * time.Second},
+		{name: "minutes", args: []string{"-timeout", "2m"}, want: 2 * time.Minute},
+		{name: "compound", args: []string{"-timeout", "1h30m"}, want: 90 * time.Minute},
+		{name: "millis", args: []string{"-timeout", "250ms"}, want: 250 * time.Millisecond},
+		{name: "explicit zero", args: []string{"-timeout", "0"}, want: 0},
+		{name: "negative rejected", args: []string{"-timeout", "-5s"}, wantErr: true},
+		{name: "bare number rejected", args: []string{"-timeout", "30"}, wantErr: true},
+		{name: "garbage rejected", args: []string{"-timeout", "soon"}, wantErr: true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := ParseDPSGD(tc.args, io.Discard)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParseDPSGD(%v) accepted", tc.args)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.Timeout != tc.want {
+				t.Errorf("Timeout = %v, want %v", cfg.Timeout, tc.want)
+			}
+		})
+	}
+}
+
+// An expiring -timeout cancels training through the context plumbing:
+// the run errors with context.DeadlineExceeded instead of finishing.
+func TestRunDPSGDTimeoutCancelsTraining(t *testing.T) {
+	cfg, err := ParseDPSGD(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scale = 0.2
+	cfg.Passes = 500 // long enough that a 1ns deadline always hits first
+	cfg.Timeout = time.Nanosecond
+	var out bytes.Buffer
+	err = RunDPSGDCtx(context.Background(), cfg, &out)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// A cancelled caller context cancels the same way.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg.Timeout = 0
+	if err := RunDPSGDCtx(ctx, cfg, &out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// Private runs stamp the accountant's ledger into saved-model metadata.
+func TestRunDPSGDSaveCarriesLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	if _, err := runQuick(t, func(c *DPSGDConfig) { c.SavePath = path }); err != nil {
+		t.Fatal(err)
+	}
+	_, meta, err := eval.LoadClassifier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok, err := account.LedgerFromMeta(meta)
+	if err != nil || !ok {
+		t.Fatalf("saved model carries no ledger: ok=%v err=%v meta=%v", ok, err, meta)
+	}
+	if l.TotalEpsilon != 0.1 || l.SpentEpsilon != 0.1 {
+		t.Errorf("ledger totals: %+v", l)
+	}
+	if len(l.Entries) != 1 || !strings.HasPrefix(l.Entries[0].Label, "train(") {
+		t.Errorf("ledger entries: %+v", l.Entries)
 	}
 }
 

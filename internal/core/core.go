@@ -21,11 +21,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"boltondp/internal/account"
 	"boltondp/internal/dp"
 	"boltondp/internal/engine"
 	"boltondp/internal/loss"
@@ -134,6 +136,29 @@ type Options struct {
 	// Rand is the randomness source for the permutation(s), the worker
 	// seeds and the noise.
 	Rand *rand.Rand
+
+	// Ctx, when non-nil, makes the run cancellable: the execution
+	// engine polls it once per mini-batch update (every strategy), and
+	// Train returns ctx.Err() within one epoch slice of cancellation.
+	// Prefer TrainCtx, which sets it from its first argument.
+	Ctx context.Context
+
+	// Accountant, when non-nil, is the privacy-budget accountant this
+	// run draws from: Budget is reserved against it (under SpendLabel)
+	// before any training work, and an over-budget request fails closed
+	// with account.ErrOverdraw. When Budget is the zero value, the
+	// entire remaining budget is drawn.
+	Accountant *account.Accountant
+
+	// SpendLabel is the accountant ledger label for this run's
+	// reservation. Empty means "train(<loss name>)".
+	SpendLabel string
+
+	// Progress, when non-nil, is called after every epoch (pass, or
+	// sharded merge epoch) with the 1-based epoch number and the
+	// empirical risk of the current (pre-noise) iterate. Setting it
+	// costs one extra pass over the data per epoch.
+	Progress func(epoch int, risk float64)
 }
 
 func (o *Options) withDefaults(m int) Options {
@@ -203,6 +228,41 @@ func (o *Options) checkStreaming() error {
 	return nil
 }
 
+// fillBudget resolves a zero Budget against the accountant (draw
+// everything that remains). Must run before validate, which rejects a
+// zero budget. An exhausted accountant fails closed here with
+// ErrOverdraw — the same error identity every other over-budget path
+// reports — rather than leaking a zero-ε validation error.
+func (o *Options) fillBudget() error {
+	if o.Accountant == nil || o.Budget != (dp.Budget{}) {
+		return nil
+	}
+	rem := o.Accountant.Remaining()
+	if rem.Epsilon <= 0 {
+		return fmt.Errorf("%w: drawing the remainder of an exhausted accountant (total %v)",
+			account.ErrOverdraw, o.Accountant.Total())
+	}
+	o.Budget = rem
+	return nil
+}
+
+// reserveBudget debits the run's budget from its accountant, when one
+// is attached. Called after all parameter validation and before the
+// engine touches a single row, so an over-budget request fails closed
+// with no training work done. Reservations are never refunded: the
+// ledger records intent to release, the conservative reading of simple
+// composition (a failed run after this point still forfeits its spend).
+func (o *Options) reserveBudget(f loss.Function) error {
+	if o.Accountant == nil {
+		return nil
+	}
+	label := o.SpendLabel
+	if label == "" {
+		label = "train(" + f.Name() + ")"
+	}
+	return o.Accountant.Reserve(label, o.Budget)
+}
+
 // Result reports one private training run.
 type Result struct {
 	// W is the differentially private model — the only field safe to
@@ -240,6 +300,9 @@ type Result struct {
 // k is pinned to 1. The loss must be convex (γ may be 0; a strongly
 // convex loss is allowed but Algorithm 2 gives strictly less noise).
 func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	if err := opt.fillBudget(); err != nil {
+		return nil, err
+	}
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -281,6 +344,9 @@ func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, er
 		return nil, fmt.Errorf("core: unknown StepKind %v", o.Step)
 	}
 
+	if err := o.reserveBudget(f); err != nil {
+		return nil, err
+	}
 	res, err := engine.Run(s, engine.Config{
 		Strategy: o.Strategy,
 		Workers:  o.Workers,
@@ -294,6 +360,8 @@ func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, er
 			AverageTail: o.AverageTail,
 			FreshPerm:   o.FreshPerm,
 			Rand:        o.Rand,
+			Ctx:         o.Ctx,
+			Progress:    o.Progress,
 		},
 	})
 	if err != nil {
@@ -313,6 +381,9 @@ func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, er
 // (the paper's multicore punchline). The loss must be γ-strongly
 // convex.
 func PrivateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	if err := opt.fillBudget(); err != nil {
+		return nil, err
+	}
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -337,6 +408,9 @@ func PrivateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Re
 		o.Batch = n // mirror the engine's clamp so the paper-batch Δ₂ is not over-divided
 	}
 
+	if err := o.reserveBudget(f); err != nil {
+		return nil, err
+	}
 	res, err := engine.Run(s, engine.Config{
 		Strategy: o.Strategy,
 		Workers:  o.Workers,
@@ -351,6 +425,8 @@ func PrivateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Re
 			FreshPerm:   o.FreshPerm,
 			Rand:        o.Rand,
 			Tol:         o.Tol,
+			Ctx:         o.Ctx,
+			Progress:    o.Progress,
 		},
 	})
 	if err != nil {

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+
+	"boltondp/internal/account"
+	"boltondp/internal/dp"
+	"boltondp/internal/engine"
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+)
+
+// Option is a functional option for TrainCtx and friends. Options are
+// applied in order over a zero Options value (or over the base given to
+// WithOptions), so later options win.
+type Option func(*Options)
+
+// WithOptions seeds the run from a full Options value — the escape
+// hatch for parameters without a dedicated option (step family,
+// averaging, fresh permutations, …). Place it first: options applied
+// after it override its fields.
+func WithOptions(base Options) Option {
+	return func(o *Options) { *o = base }
+}
+
+// WithBudget sets the privacy budget the release is calibrated to.
+// Combined with WithAccountant, the budget is reserved against the
+// accountant before training; alone, it is the stand-alone guarantee.
+func WithBudget(b dp.Budget) Option {
+	return func(o *Options) { o.Budget = b }
+}
+
+// WithAccountant attaches the privacy-budget accountant the run draws
+// from. Without WithBudget the entire remaining budget is drawn; either
+// way the spend is recorded in the accountant's ledger and an
+// over-budget request fails closed before any training work.
+func WithAccountant(a *account.Accountant) Option {
+	return func(o *Options) { o.Accountant = a }
+}
+
+// WithSpendLabel names this run's entry in the accountant's ledger
+// (default "train(<loss name>)").
+func WithSpendLabel(label string) Option {
+	return func(o *Options) { o.SpendLabel = label }
+}
+
+// WithPasses sets k, the number of passes over the data.
+func WithPasses(k int) Option {
+	return func(o *Options) { o.Passes = k }
+}
+
+// WithBatch sets the mini-batch size b.
+func WithBatch(b int) Option {
+	return func(o *Options) { o.Batch = b }
+}
+
+// WithRadius constrains the hypothesis space to the L2 ball of radius
+// r (the paper's R = 1/λ convention for strongly convex losses).
+func WithRadius(r float64) Option {
+	return func(o *Options) { o.Radius = r }
+}
+
+// WithStrategy selects the execution-engine strategy and its worker
+// count (workers is only meaningful for engine.Sharded; pass 0 or 1
+// otherwise).
+func WithStrategy(s engine.Strategy, workers int) Option {
+	return func(o *Options) { o.Strategy = s; o.Workers = workers }
+}
+
+// WithRand sets the randomness source for permutations, worker seeds
+// and the privacy noise. Required: the trainers refuse to run without
+// an explicit source, so seeds stay reproducible by construction.
+func WithRand(r *rand.Rand) Option {
+	return func(o *Options) { o.Rand = r }
+}
+
+// WithProgress installs a per-epoch observability hook: fn is invoked
+// after every epoch with the 1-based epoch number and the empirical
+// risk of the current (pre-noise, NOT private) iterate. The risk values
+// must not be released under the run's budget — they are for logging
+// and live monitoring on the trusted side only.
+func WithProgress(fn func(epoch int, risk float64)) Option {
+	return func(o *Options) { o.Progress = fn }
+}
+
+// WithTol enables the §4.3 "oblivious k" early-stopping rule (strongly
+// convex losses only — the convex trainer rejects it).
+func WithTol(tol float64) Option {
+	return func(o *Options) { o.Tol = tol }
+}
+
+// TrainCtx is the context-aware, functional-options form of Train: it
+// runs the bolt-on private PSGD appropriate for the loss, cancellable
+// through ctx (checked once per mini-batch update by every execution
+// strategy; the run returns ctx.Err() within one epoch slice of
+// cancellation or deadline expiry).
+//
+//	acct, _ := account.New(dp.Budget{Epsilon: 1})
+//	res, err := core.TrainCtx(ctx, train, f,
+//		core.WithAccountant(acct),
+//		core.WithPasses(10), core.WithBatch(50), core.WithRadius(1/lambda),
+//		core.WithRand(r))
+//
+// Train(s, f, Options{...}) remains as the struct-literal form; the two
+// are interchangeable (TrainCtx builds an Options and sets Ctx).
+func TrainCtx(ctx context.Context, s sgd.Samples, f loss.Function, opts ...Option) (*Result, error) {
+	return Train(s, f, buildOptions(ctx, opts))
+}
+
+// PrivateConvexPSGDCtx is the context-aware form of PrivateConvexPSGD.
+func PrivateConvexPSGDCtx(ctx context.Context, s sgd.Samples, f loss.Function, opts ...Option) (*Result, error) {
+	return PrivateConvexPSGD(s, f, buildOptions(ctx, opts))
+}
+
+// PrivateStronglyConvexPSGDCtx is the context-aware form of
+// PrivateStronglyConvexPSGD.
+func PrivateStronglyConvexPSGDCtx(ctx context.Context, s sgd.Samples, f loss.Function, opts ...Option) (*Result, error) {
+	return PrivateStronglyConvexPSGD(s, f, buildOptions(ctx, opts))
+}
+
+func buildOptions(ctx context.Context, opts []Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	o.Ctx = ctx
+	return o
+}

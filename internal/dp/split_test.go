@@ -1,0 +1,78 @@
+package dp
+
+import (
+	"math"
+	"testing"
+)
+
+// Budget.Split edge cases (satellite of the accountant PR): the split
+// arithmetic is the foundation the accountant's recombination guarantee
+// rests on, so its corners are pinned here.
+
+func TestSplitOneIsIdentity(t *testing.T) {
+	b := Budget{Epsilon: 0.7, Delta: 3e-6}
+	if got := b.Split(1); got != b {
+		t.Errorf("Split(1) = %v, want %v", got, b)
+	}
+}
+
+func TestSplitZeroAndNegativePanic(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Split(%d) did not panic", n)
+				}
+			}()
+			Budget{Epsilon: 1}.Split(n)
+		}()
+	}
+}
+
+// δ splits alongside ε (simple composition divides both), and a pure
+// ε-DP budget stays pure under any split.
+func TestSplitDelta(t *testing.T) {
+	b := Budget{Epsilon: 2, Delta: 1e-4}.Split(8)
+	if b.Epsilon != 0.25 || b.Delta != 1.25e-5 {
+		t.Errorf("Split(8) = %v", b)
+	}
+	if got := (Budget{Epsilon: 2}).Split(8); !got.Pure() {
+		t.Errorf("pure budget lost purity: %v", got)
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("split result invalid: %v", err)
+	}
+}
+
+// Recombination: n children must sum back to the parent to within
+// floating-point rounding, for awkward divisors included — the
+// arithmetic fact the accountant's overdraw slack is calibrated
+// against.
+func TestSplitRecombines(t *testing.T) {
+	parent := Budget{Epsilon: 0.3, Delta: 7e-6}
+	for _, n := range []int{2, 3, 7, 10, 33, 1000} {
+		child := parent.Split(n)
+		var eps, del float64
+		for i := 0; i < n; i++ {
+			eps += child.Epsilon
+			del += child.Delta
+		}
+		if math.Abs(eps-parent.Epsilon) > 1e-9*parent.Epsilon {
+			t.Errorf("n=%d: ε recombines to %.17g, want %.17g", n, eps, parent.Epsilon)
+		}
+		if math.Abs(del-parent.Delta) > 1e-9*parent.Delta {
+			t.Errorf("n=%d: δ recombines to %.17g, want %.17g", n, del, parent.Delta)
+		}
+	}
+}
+
+// A split of a split composes like a flat split: (ε/n)/m = ε/(nm), so
+// nested decompositions (tuning inside one-vs-all) stay coherent.
+func TestSplitNests(t *testing.T) {
+	b := Budget{Epsilon: 6, Delta: 6e-5}
+	nested := b.Split(2).Split(3)
+	flat := b.Split(6)
+	if math.Abs(nested.Epsilon-flat.Epsilon) > 1e-15 || math.Abs(nested.Delta-flat.Delta) > 1e-20 {
+		t.Errorf("nested %v != flat %v", nested, flat)
+	}
+}

@@ -374,6 +374,14 @@ func runSharded(s sgd.Samples, cfg Config) (*Result, error) {
 	passes := 0
 	prevRisk := math.Inf(1)
 	for pass := 0; pass < c.Passes; pass++ {
+		// Workers poll the context per update; the epoch-level check
+		// here additionally stops a cancelled run before it fans out the
+		// next merge epoch.
+		if c.Ctx != nil {
+			if err := c.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		var wg sync.WaitGroup
 		for i := 0; i < cfg.Workers; i++ {
 			wg.Add(1)
@@ -389,6 +397,10 @@ func runSharded(s sgd.Samples, cfg Config) (*Result, error) {
 					Rand:    rngs[i],
 					W0:      w,
 					T0:      offsets[i],
+					Ctx:     c.Ctx,
+					// Progress stays with the merge loop below: the hook
+					// contract is one call per epoch on the merged model,
+					// not one per shard.
 				})
 				if err != nil {
 					errs[i] = err
@@ -423,12 +435,17 @@ func runSharded(s sgd.Samples, cfg Config) (*Result, error) {
 		}
 		passes++
 
-		if c.Tol > 0 {
+		if c.Tol > 0 || c.Progress != nil {
 			risk := sgd.EmpiricalRisk(s, c.Loss, w)
-			if prevRisk-risk < c.Tol {
-				break
+			if c.Progress != nil {
+				c.Progress(passes, risk)
 			}
-			prevRisk = risk
+			if c.Tol > 0 {
+				if prevRisk-risk < c.Tol {
+					break
+				}
+				prevRisk = risk
+			}
 		}
 	}
 

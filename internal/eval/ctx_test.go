@@ -1,0 +1,46 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"boltondp/internal/sgd"
+)
+
+// TrainOneVsAllCtx stops between classes once the context dies: a
+// cancel during class c's training leaves classes c+1..n untrained.
+func TestTrainOneVsAllCtxCancel(t *testing.T) {
+	s := &sgd.SliceSamples{
+		X: [][]float64{{1, 0}, {0, 1}, {1, 1}, {0, 0}},
+		Y: []float64{0, 1, 2, 3},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	trained := 0
+	_, err := TrainOneVsAllCtx(ctx, s, 4, func(view sgd.Samples, class int) ([]float64, error) {
+		trained++
+		if class == 1 {
+			cancel()
+		}
+		return []float64{1, 0}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if trained != 2 {
+		t.Errorf("trained %d classes after cancel during class 1", trained)
+	}
+
+	// A healthy context trains every class, identically to the legacy
+	// entry point.
+	m, err := TrainOneVsAllCtx(context.Background(), s, 4, func(view sgd.Samples, class int) ([]float64, error) {
+		return []float64{float64(class), 1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.W) != 4 || m.W[3][0] != 3 {
+		t.Errorf("model: %+v", m.W)
+	}
+}

@@ -5,6 +5,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -202,9 +203,20 @@ type BinaryTrainer func(view sgd.Samples, class int) ([]float64, error)
 
 // TrainOneVsAll builds a one-vs-all multiclass model by invoking the
 // trainer once per class on the relabeled views. The trainer is
-// responsible for using a per-class budget of ε/classes (see
-// dp.Budget.Split), as §4.3 prescribes for MNIST.
+// responsible for using a per-class budget of ε/classes, as §4.3
+// prescribes for MNIST — draw the per-class shares from a privacy-
+// budget accountant (account.Accountant.Split, enforced) or from
+// dp.Budget.Split (caller-trusted).
 func TrainOneVsAll(s sgd.Samples, classes int, train BinaryTrainer) (*OneVsAll, error) {
+	return TrainOneVsAllCtx(context.Background(), s, classes, train)
+}
+
+// TrainOneVsAllCtx is TrainOneVsAll made cancellable: ctx is checked
+// before each per-class training run, and a trainer built on
+// core.TrainCtx (or any core.Options carrying the same ctx) also stops
+// mid-run, so cancelling a ten-class build never waits for the current
+// class to finish its remaining passes.
+func TrainOneVsAllCtx(ctx context.Context, s sgd.Samples, classes int, train BinaryTrainer) (*OneVsAll, error) {
 	if classes < 2 {
 		return nil, fmt.Errorf("eval: need >= 2 classes, got %d", classes)
 	}
@@ -213,6 +225,11 @@ func TrainOneVsAll(s sgd.Samples, classes int, train BinaryTrainer) (*OneVsAll, 
 	}
 	model := &OneVsAll{W: make([][]float64, classes)}
 	for c := 0; c < classes; c++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		w, err := train(NewBinaryView(s, float64(c)), c)
 		if err != nil {
 			return nil, fmt.Errorf("eval: class %d: %w", c, err)

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"boltondp/internal/account"
+	"boltondp/internal/dp"
+	"boltondp/internal/eval"
+)
+
+// A model published through an accountant carries the audited ledger in
+// its metadata, and /modelz round-trips it (acceptance criterion of the
+// accountant tentpole): GET /modelz → meta["dp.ledger"] → ParseLedger
+// must recover the exact spend record, both for an in-memory publish
+// and for a registry reloaded from disk.
+func TestModelzRoundTripsLedger(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acct := account.MustNew(dp.Budget{Epsilon: 1, Delta: 1e-6})
+	if err := acct.Reserve("train(logistic)", dp.Budget{Epsilon: 0.75, Delta: 1e-6}); err != nil {
+		t.Fatal(err)
+	}
+	meta := map[string]string{"loss": "logistic"}
+	if err := acct.StampMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("fraud", &eval.Linear{W: []float64{1, -1}}, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(t *testing.T, reg *Registry) {
+		t.Helper()
+		w, _ := do(t, New(reg, Config{}).Handler(), "GET", "/modelz", "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("/modelz status %d: %s", w.Code, w.Body.String())
+		}
+		var resp struct {
+			Models []struct {
+				Name string            `json:"name"`
+				Meta map[string]string `json:"meta"`
+			} `json:"models"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Models) != 1 || resp.Models[0].Name != "fraud" {
+			t.Fatalf("models: %+v", resp.Models)
+		}
+		l, ok, err := account.LedgerFromMeta(resp.Models[0].Meta)
+		if err != nil || !ok {
+			t.Fatalf("/modelz meta carries no ledger: ok=%v err=%v meta=%v", ok, err, resp.Models[0].Meta)
+		}
+		if l.Total() != (dp.Budget{Epsilon: 1, Delta: 1e-6}) {
+			t.Errorf("ledger total: %v", l.Total())
+		}
+		if l.Spent() != (dp.Budget{Epsilon: 0.75, Delta: 1e-6}) {
+			t.Errorf("ledger spent: %v", l.Spent())
+		}
+		if len(l.Entries) != 1 || l.Entries[0].Label != "train(logistic)" || l.Entries[0].Epsilon != 0.75 {
+			t.Errorf("ledger entries: %+v", l.Entries)
+		}
+		if resp.Models[0].Meta["dp.total"] == "" || resp.Models[0].Meta["dp.spent"] == "" {
+			t.Errorf("human-readable summary keys missing: %v", resp.Models[0].Meta)
+		}
+	}
+
+	t.Run("live registry", func(t *testing.T) { check(t, reg) })
+
+	// The ledger survives persistence: a fresh registry loaded from the
+	// same directory serves the identical record.
+	t.Run("reloaded registry", func(t *testing.T) {
+		reloaded, err := NewRegistry(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, reloaded)
+	})
+
+	// And the on-disk model file itself carries it (SaveClassifier
+	// metadata path, readable without a server).
+	t.Run("model file", func(t *testing.T) {
+		_, meta, err := eval.LoadClassifier(filepath.Join(dir, "fraud.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := account.LedgerFromMeta(meta); !ok || err != nil {
+			data, _ := os.ReadFile(filepath.Join(dir, "fraud.json"))
+			t.Fatalf("model file carries no ledger (ok=%v err=%v): %s", ok, err, data)
+		}
+	})
+}

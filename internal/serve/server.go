@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -83,8 +84,15 @@ func canonical(idx []int) bool {
 // fanOut runs fn over [0, n) split into contiguous chunks across up
 // to workers goroutines and returns the first error. Each invocation
 // owns its range exclusively, so callers write disjoint output slots
-// without locking.
-func fanOut(n, workers int, fn func(lo, hi int) error) error {
+// without locking. A non-nil ctx is polled per row by the chunk
+// functions; fanOut itself refuses to start work on an already-dead
+// context.
+func fanOut(ctx context.Context, n, workers int, fn func(lo, hi int) error) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	if workers > n {
 		workers = n
 	}
@@ -109,13 +117,32 @@ func fanOut(n, workers int, fn func(lo, hi int) error) error {
 	return nil
 }
 
+// ctxDead reports whether a (possibly nil) context has been cancelled —
+// the per-row poll of the batch scoring loops, so a disconnected or
+// timed-out client stops burning scoring workers mid-batch.
+func ctxDead(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
 // ScoreBatch scores decoded rows across up to workers goroutines. The
 // model is immutable and each goroutine writes a disjoint range of the
 // output, so the fan-out needs no locking.
 func (m *Model) ScoreBatch(rows []Row, workers int) ([]float64, error) {
+	return m.ScoreBatchCtx(context.Background(), rows, workers)
+}
+
+// ScoreBatchCtx is ScoreBatch bound to a context: scoring stops within
+// one row of ctx's cancellation and returns ctx.Err(). The HTTP
+// handlers pass the request context through here, so a client that
+// disconnects or times out releases its scoring workers instead of
+// running the batch to completion.
+func (m *Model) ScoreBatchCtx(ctx context.Context, rows []Row, workers int) ([]float64, error) {
 	labels := make([]float64, len(rows))
-	err := fanOut(len(rows), workers, func(lo, hi int) error {
+	err := fanOut(ctx, len(rows), workers, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
+			if ctxDead(ctx) {
+				return ctx.Err()
+			}
 			y, err := m.Score(&rows[i])
 			if err != nil {
 				return fmt.Errorf("row %d: %w", i, err)
@@ -137,6 +164,12 @@ func (m *Model) ScoreBatch(rows []Row, workers int) ([]float64, error) {
 // themselves, and canonical rows are scored zero-copy straight out of
 // the decoded arrays at O(rows·classes·nnz) total.
 func (m *Model) ScoreBatchCSR(indptr, idx []int, val []float64, workers int) ([]float64, error) {
+	return m.ScoreBatchCSRCtx(context.Background(), indptr, idx, val, workers)
+}
+
+// ScoreBatchCSRCtx is ScoreBatchCSR bound to a context, with the same
+// cancellation contract as ScoreBatchCtx.
+func (m *Model) ScoreBatchCSRCtx(ctx context.Context, indptr, idx []int, val []float64, workers int) ([]float64, error) {
 	if len(idx) != len(val) {
 		return nil, fmt.Errorf("idx/val length mismatch %d != %d", len(idx), len(val))
 	}
@@ -145,8 +178,11 @@ func (m *Model) ScoreBatchCSR(indptr, idx []int, val []float64, workers int) ([]
 	}
 	n := len(indptr) - 1
 	labels := make([]float64, n)
-	err := fanOut(n, workers, func(lo, hi int) error {
+	err := fanOut(ctx, n, workers, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
+			if ctxDead(ctx) {
+				return ctx.Err()
+			}
 			a, b := indptr[i], indptr[i+1]
 			if a < 0 || a > b || b > len(idx) {
 				return fmt.Errorf("row %d: indptr not monotone", i)
@@ -169,10 +205,13 @@ func (m *Model) ScoreBatchCSR(indptr, idx []int, val []float64, workers int) ([]
 // only the request frame, and the per-row JSON decoding — the dominant
 // per-row cost of this form — is fanned out across the scoring workers
 // together with the arithmetic.
-func (m *Model) scoreBatchRaw(rows []json.RawMessage, workers int) ([]float64, error) {
+func (m *Model) scoreBatchRaw(ctx context.Context, rows []json.RawMessage, workers int) ([]float64, error) {
 	labels := make([]float64, len(rows))
-	err := fanOut(len(rows), workers, func(lo, hi int) error {
+	err := fanOut(ctx, len(rows), workers, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
+			if ctxDead(ctx) {
+				return ctx.Err()
+			}
 			// Same strictness as /predict's frame decoder: a typo'd
 			// field must be a 400, not a silently dropped key.
 			var row Row
@@ -390,11 +429,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var labels []float64
 	if csr {
-		labels, err = m.ScoreBatchCSR(req.Indptr, req.Idx, req.Val, s.cfg.Workers)
+		labels, err = m.ScoreBatchCSRCtx(r.Context(), req.Indptr, req.Idx, req.Val, s.cfg.Workers)
 	} else {
-		labels, err = m.scoreBatchRaw(req.Rows, s.cfg.Workers)
+		labels, err = m.scoreBatchRaw(r.Context(), req.Rows, s.cfg.Workers)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The request context died mid-scoring. A disconnected
+			// client never reads the status, but during graceful
+			// shutdown (BaseContext cancellation) the connection is
+			// still open — silence here would surface as a 200 with an
+			// empty body, which a client would misread as success.
+			httpError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sgd
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package sgd
+
+// raceEnabled disables timing gates when the race detector's
+// instrumentation distorts the cost of atomic operations (the ctx poll
+// is one) relative to the arithmetic around them.
+const raceEnabled = true

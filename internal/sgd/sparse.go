@@ -333,7 +333,7 @@ func runSparse(s SparseSamples, lf loss.Linear, cfg Config) (*Result, error) {
 
 	st := newSparseState(lf, d, maxBatch, cfg.Radius, cfg.Average || cfg.AverageTail, cfg.W0)
 	var wd []float64
-	if cfg.Tol > 0 {
+	if cfg.Tol > 0 || cfg.Progress != nil {
 		wd = make([]float64, d)
 	}
 
@@ -345,6 +345,11 @@ func runSparse(s SparseSamples, lf loss.Linear, cfg Config) (*Result, error) {
 			perm = cfg.Rand.Perm(m)
 		}
 		for u := 0; u < updatesPerPass; u++ {
+			if cfg.Ctx != nil {
+				if err := cfg.Ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			start := u * b
 			end := start + b
 			if u == updatesPerPass-1 {
@@ -361,13 +366,18 @@ func runSparse(s SparseSamples, lf loss.Linear, cfg Config) (*Result, error) {
 		}
 		passes++
 		st.refreshNorm()
-		if cfg.Tol > 0 {
+		if cfg.Tol > 0 || cfg.Progress != nil {
 			st.dense(wd)
 			risk := sparseEmpiricalRisk(s, lf, wd)
-			if prevRisk-risk < cfg.Tol {
-				break
+			if cfg.Progress != nil {
+				cfg.Progress(passes, risk)
 			}
-			prevRisk = risk
+			if cfg.Tol > 0 {
+				if prevRisk-risk < cfg.Tol {
+					break
+				}
+				prevRisk = risk
+			}
 		}
 	}
 

@@ -6,11 +6,13 @@
 package tuning
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"boltondp/internal/account"
 	"boltondp/internal/core"
 	"boltondp/internal/data"
 	"boltondp/internal/dp"
@@ -59,11 +61,14 @@ type TrainFunc func(part *data.Dataset, p Params) (eval.Classifier, error)
 // engine (internal/engine) — into a TrainFunc for binary linear
 // models: the tuple's (k, b) become Passes/Batch, λ parameterizes the
 // loss via newLoss, and base carries everything else (budget, step
-// family, execution strategy and worker count, randomness). When the
-// resulting loss is strongly convex and base.Radius is zero, the
-// paper's R = 1/λ convention (§4.3) is applied. This is the canonical
-// way to make a tuning run — every candidate of the grid — execute
-// under a chosen engine strategy.
+// family, execution strategy and worker count, randomness — and, for
+// PrivateCtx runs, the context and accountant: base.Ctx makes every
+// candidate's training cancellable, and base.Accountant makes each
+// candidate reserve its own training budget). When the resulting loss
+// is strongly convex and base.Radius is zero, the paper's R = 1/λ
+// convention (§4.3) is applied. This is the canonical way to make a
+// tuning run — every candidate of the grid — execute under a chosen
+// engine strategy.
 func EngineTrainFunc(newLoss func(lambda float64) loss.Function, base core.Options) TrainFunc {
 	return func(part *data.Dataset, p Params) (eval.Classifier, error) {
 		opt := base
@@ -98,6 +103,24 @@ type Result struct {
 // on disjoint data (parallel composition) and the pick is the
 // exponential mechanism with sensitivity-1 score χ.
 func Private(d *data.Dataset, grid []Params, budget dp.Budget, train TrainFunc, r *rand.Rand) (*Result, error) {
+	return PrivateCtx(context.Background(), d, grid, budget, nil, train, r)
+}
+
+// PrivateCtx is Algorithm 3 made cancellable and accountable: the
+// context is checked before each candidate's training run (and flows
+// into the runs themselves when train was built from a base
+// core.Options carrying it — EngineTrainFunc preserves it), and when
+// acct is non-nil the tuner's own spend — the ε of the exponential-
+// mechanism pick, line 5 — is reserved against it before any work,
+// failing closed on overdraw.
+//
+// The candidates' training budgets are the TrainFunc's responsibility:
+// Algorithm 3 trains each candidate on a DISJOINT portion, so parallel
+// composition charges the portions once, not l times — an accountant-
+// backed TrainFunc should reserve its per-candidate budget from a
+// child accountant, not from acct, or the ledger would overstate the
+// real spend. acct here covers only the selection.
+func PrivateCtx(ctx context.Context, d *data.Dataset, grid []Params, budget dp.Budget, acct *account.Accountant, train TrainFunc, r *rand.Rand) (*Result, error) {
 	if err := budget.Validate(); err != nil {
 		return nil, err
 	}
@@ -114,12 +137,22 @@ func Private(d *data.Dataset, grid []Params, budget dp.Budget, train TrainFunc, 
 	if d.Len() < (l+1)*2 {
 		return nil, fmt.Errorf("tuning: dataset of %d rows too small for %d+1 portions", d.Len(), l)
 	}
+	if acct != nil {
+		if err := acct.Reserve(fmt.Sprintf("tune(%d candidates)", l), budget); err != nil {
+			return nil, err
+		}
+	}
 	parts := d.Portions(r, l+1)
 	validation := parts[l]
 
 	models := make([]eval.Classifier, l)
 	chis := make([]int, l)
 	for i, p := range grid {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		m, err := train(parts[i], p)
 		if err != nil {
 			return nil, fmt.Errorf("tuning: candidate %v: %w", p, err)
