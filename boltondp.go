@@ -58,6 +58,7 @@ import (
 	"boltondp/internal/projection"
 	"boltondp/internal/serve"
 	"boltondp/internal/sgd"
+	"boltondp/internal/store"
 	"boltondp/internal/tuning"
 )
 
@@ -129,6 +130,18 @@ type (
 	// rows are derived from (seed, index) on access and never
 	// materialized.
 	Stream = data.Stream
+	// StoreReader is a random-access view of an on-disk columnar
+	// dataset store (DESIGN.md §7). It implements Samples,
+	// SparseSamples and the engine's sharding contract, so every
+	// execution strategy trains straight from the file, holding one
+	// chunk — not the dataset — in memory.
+	StoreReader = store.Reader
+	// StoreWriter streams labeled sparse rows into a store file in one
+	// pass (row count and dimension need not be known up front).
+	StoreWriter = store.Writer
+	// StoreOptions configures store conversion (chunk geometry, class
+	// count override).
+	StoreOptions = store.Options
 	// Table is the Bismarck-style page-organized table.
 	Table = bismarck.Table
 	// UDATrainConfig configures in-RDBMS training via the UDA
@@ -180,6 +193,32 @@ func ParseExecutionStrategy(name string) (ExecutionStrategy, error) {
 // standard deviation and label-noise probability).
 func NewStream(seed int64, m, d int, spread, flip float64) *Stream {
 	return data.NewStream(seed, m, d, spread, flip)
+}
+
+// Out-of-core dataset store (see DESIGN.md §7). A store file makes
+// "the training set fits in RAM" a per-run choice: convert once with
+// WriteStore (or stream rows through CreateStore), then train any
+// strategy from OpenStore's reader. Training from a store is
+// bit-identical to training from the source it was written from —
+// sensitivity calibration never depends on the representation.
+
+// OpenStore opens an on-disk columnar dataset store for training or
+// scoring. The reader fails closed: any corruption (bad checksum,
+// truncation, invalid CSR geometry) is an error, never silently wrong
+// rows.
+func OpenStore(path string) (*StoreReader, error) { return store.Open(path) }
+
+// WriteStore converts any sparse-tier sample source into a store file
+// in one sequential pass, preserving row order and exact value bits.
+func WriteStore(path string, src SparseSamples, opt StoreOptions) error {
+	return store.Write(path, src, opt)
+}
+
+// CreateStore opens a store file for streaming row-at-a-time
+// conversion (Append rows, then Close); neither the row count nor the
+// dimension needs to be known up front.
+func CreateStore(path string, opt StoreOptions) (*StoreWriter, error) {
+	return store.Create(path, opt)
 }
 
 // Budget accounting (see DESIGN.md §6).

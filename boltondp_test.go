@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http/httptest"
 	"os"
@@ -562,5 +563,58 @@ func TestFacadePrivateTuneCtx(t *testing.T) {
 	}
 	if got := acct.Spent(); got.Epsilon != 1 {
 		t.Errorf("tuner spend: %v", got)
+	}
+}
+
+// The out-of-core store through the facade: convert a sparse dataset
+// to a store file, train privately from disk under each strategy, and
+// pin the released model bit-identical to the in-memory run — the
+// representation-independence invariant of DESIGN.md §7.
+func TestFacadeOutOfCoreStore(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	train, _ := KDDSimSparse(r, 0.002)
+	path := filepath.Join(t.TempDir(), "kdd.bolt")
+	if err := WriteStore(path, train, StoreOptions{ChunkRows: 128}); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if rd.Len() != train.Len() || rd.Dim() != train.Dim() {
+		t.Fatalf("store shape %dx%d, want %dx%d", rd.Len(), rd.Dim(), train.Len(), train.Dim())
+	}
+
+	f := NewLogisticLoss(1e-2)
+	for _, tc := range []struct {
+		strategy ExecutionStrategy
+		workers  int
+		passes   int
+	}{
+		{StrategySequential, 1, 2},
+		{StrategySharded, 2, 2},
+		{StrategyStreaming, 1, 1},
+	} {
+		run := func(s Samples) *TrainResult {
+			res, err := TrainCtx(context.Background(), s, f,
+				WithBudget(Budget{Epsilon: 1}),
+				WithPasses(tc.passes), WithBatch(10), WithRadius(100),
+				WithStrategy(tc.strategy, tc.workers),
+				WithRand(rand.New(rand.NewSource(77))))
+			if err != nil {
+				t.Fatalf("%v: %v", tc.strategy, err)
+			}
+			return res
+		}
+		mem, disk := run(train), run(rd)
+		if mem.Sensitivity != disk.Sensitivity {
+			t.Fatalf("%v: Δ₂ differs by representation", tc.strategy)
+		}
+		for i := range mem.W {
+			if math.Float64bits(mem.W[i]) != math.Float64bits(disk.W[i]) {
+				t.Fatalf("%v: store-backed model diverged at w[%d]", tc.strategy, i)
+			}
+		}
 	}
 }

@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document — the format CI publishes as the
+// BENCH_<n>.json workflow artifact, so the repository's performance
+// trajectory can be tracked across commits instead of evaporating with
+// each job's logs.
+//
+// Usage:
+//
+//	go test -bench X ./... | tee bench-x.txt
+//	benchjson -o BENCH.json bench-engine.txt bench-sparse.txt ...
+//
+// Each input file becomes a suite named after the file's stem (a
+// "bench-" prefix and the extension are stripped). Every benchmark
+// result line contributes one entry with its iteration count and all
+// reported metrics (ns/op, B/op, allocs/op and any custom
+// testing.B.ReportMetric units such as rows/s). Non-benchmark lines
+// (goos/pkg/PASS/ok) are skipped, except cpu lines, which are captured
+// for context. Gate-test failures do not reach this tool: CI fails the
+// bench step itself before conversion.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line.
+type result struct {
+	Suite      string             `json:"suite"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// document is the emitted artifact.
+type document struct {
+	Schema  string   `json:"schema"`
+	Go      string   `json:"go"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no input files")
+		os.Exit(2)
+	}
+
+	doc := document{Schema: "boltondp-bench/v1", Go: runtime.Version(), Results: []result{}}
+	for _, path := range flag.Args() {
+		if err := parseFile(path, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// suiteName maps bench-engine.txt → engine.
+func suiteName(path string) string {
+	s := filepath.Base(path)
+	s = strings.TrimSuffix(s, filepath.Ext(s))
+	s = strings.TrimPrefix(s, "bench-")
+	return strings.TrimPrefix(s, "bench_")
+}
+
+func parseFile(path string, doc *document) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	suite := suiteName(path)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.CPU = cpu
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := parseBenchLine(suite, line)
+		if !ok {
+			continue
+		}
+		doc.Results = append(doc.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// parseBenchLine parses "BenchmarkName-P  iters  v1 unit1  v2 unit2 ...".
+func parseBenchLine(suite, line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return result{}, false
+	}
+	name := fields[0]
+	procs := 0
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return result{}, false
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return result{Suite: suite, Name: name, Procs: procs, Iterations: iters, Metrics: metrics}, true
+}

@@ -10,6 +10,7 @@
 //	dpsgd -sim kdd -algo noiseless -save model.json
 //	dpsgd -sim kdd -eps 1 -publish ./registry   # then: dpserve -models ./registry
 //	dpsgd -sim higgs -scale 1 -timeout 2m       # deadline the run
+//	dpsgd -data big.libsvm -cache big.bolt      # convert once, train out-of-core
 //
 // Algorithms: ours (bolt-on output perturbation, the default),
 // noiseless, scs13, bst14. A SIGINT/SIGTERM (or -timeout expiry)
@@ -17,7 +18,14 @@
 // exits within one epoch slice instead of finishing the remaining
 // passes. Private runs draw their budget from a privacy-budget
 // accountant, so -save/-publish model files carry an audited spend
-// ledger in their metadata. See internal/cli for the implementation.
+// ledger in their metadata.
+//
+// -cache FILE converts the -data LIBSVM file into the on-disk columnar
+// store (internal/store, DESIGN.md §7) in one streaming parse pass and
+// trains from the store, holding one chunk — not the dataset — in
+// memory, so files 10–100× larger than RAM train under any -strategy.
+// Re-running with the same -cache skips the conversion entirely. See
+// internal/cli for the implementation.
 package main
 
 import (

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"time"
 
 	"boltondp/internal/account"
@@ -21,27 +22,31 @@ import (
 	"boltondp/internal/loss"
 	"boltondp/internal/serve"
 	"boltondp/internal/sgd"
+	"boltondp/internal/store"
+	"boltondp/internal/vec"
 )
 
 // DPSGDConfig is the parsed command line of cmd/dpsgd.
 type DPSGDConfig struct {
-	DataPath string
-	Sim      string
-	Scale    float64
-	Algo     string
-	LossName string
-	Lambda   float64
-	HuberH   float64
-	Eps      float64
-	Delta    float64
-	Passes   int
-	Batch    int
-	Strategy string
-	Workers  int
-	Seed     int64
-	SavePath string
-	Publish  string
-	Timeout  time.Duration
+	DataPath  string
+	CachePath string
+	ChunkRows int
+	Sim       string
+	Scale     float64
+	Algo      string
+	LossName  string
+	Lambda    float64
+	HuberH    float64
+	Eps       float64
+	Delta     float64
+	Passes    int
+	Batch     int
+	Strategy  string
+	Workers   int
+	Seed      int64
+	SavePath  string
+	Publish   string
+	Timeout   time.Duration
 }
 
 // ParseDPSGD parses args (excluding argv[0]) into a config.
@@ -50,6 +55,8 @@ func ParseDPSGD(args []string, stderr io.Writer) (*DPSGDConfig, error) {
 	fs := flag.NewFlagSet("dpsgd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fs.StringVar(&cfg.DataPath, "data", "", "LIBSVM training file (overrides -sim)")
+	fs.StringVar(&cfg.CachePath, "cache", "", "on-disk columnar store: convert -data into this file once, then train out-of-core from it (reused if it already exists)")
+	fs.IntVar(&cfg.ChunkRows, "chunk", 0, "rows per store chunk for the -cache conversion (0 = default)")
 	fs.StringVar(&cfg.Sim, "sim", "protein", "built-in simulator: mnist|protein|covtype|higgs|kdd")
 	fs.Float64Var(&cfg.Scale, "scale", 0.05, "simulator scale (1.0 = paper-sized)")
 	fs.StringVar(&cfg.Algo, "algo", "ours", "ours|noiseless|scs13|bst14")
@@ -71,6 +78,15 @@ func ParseDPSGD(args []string, stderr io.Writer) (*DPSGDConfig, error) {
 	}
 	if cfg.Timeout < 0 {
 		return nil, fmt.Errorf("cli: -timeout must be >= 0, got %v", cfg.Timeout)
+	}
+	if cfg.ChunkRows < 0 {
+		return nil, fmt.Errorf("cli: -chunk must be >= 0, got %d", cfg.ChunkRows)
+	}
+	if cfg.ChunkRows > 0 && cfg.CachePath == "" {
+		return nil, fmt.Errorf("cli: -chunk only applies to the -cache conversion")
+	}
+	if cfg.CachePath != "" && cfg.DataPath == "" {
+		return nil, fmt.Errorf("cli: -cache converts a -data file; give one")
 	}
 	return cfg, nil
 }
@@ -118,6 +134,32 @@ func RunDPSGDCtx(ctx context.Context, cfg *DPSGDConfig, out io.Writer) error {
 	var train, test sgd.Samples
 	classes := 2
 	switch {
+	case cfg.CachePath != "":
+		// Out-of-core: convert the LIBSVM file into the columnar store
+		// once (a single streaming parse pass — the same pass that
+		// estimates the density), then train every strategy straight
+		// from the store file. The dataset is never resident in RAM.
+		rd, err := openOrConvertStore(ctx, cfg, out)
+		if err != nil {
+			return err
+		}
+		defer rd.Close()
+		classes = rd.Classes()
+		if classes == 0 {
+			return fmt.Errorf("cli: %s holds too many distinct labels to classify", cfg.CachePath)
+		}
+		m := rd.Len()
+		cut := int(float64(m) * 0.8)
+		if cut < 1 || cut >= m {
+			return fmt.Errorf("cli: %d rows is too few to split", m)
+		}
+		// Contiguous 80/20 split in store order: a bigger-than-memory
+		// file cannot be shuffled in RAM (the in-memory path's Split
+		// does), so the store keeps the file's row order and the split
+		// is positional.
+		train, test = rd.Shard(0, cut), rd.Shard(cut, m)
+		fmt.Fprintf(out, "store: density %.4f — sparse execution kernel over on-disk chunks, split %d/%d in store order\n",
+			rd.Density(), cut, m-cut)
 	case cfg.DataPath != "":
 		// Always parse into CSR first: the sparse loader never
 		// materializes a dense row, so the density decides the
@@ -301,4 +343,70 @@ func publishName(cfg *DPSGDConfig) string {
 		return cfg.Sim
 	}
 	return modelStem(cfg.DataPath)
+}
+
+// openOrConvertStore resolves the -cache flag: reuse an existing store
+// file, or convert the -data LIBSVM file into one in a single
+// streaming pass (parse → normalize row → append; O(chunk) memory).
+// The pass that parses is the pass that estimates the density — the
+// estimate is read off the writer, never from a second scan of the
+// file.
+func openOrConvertStore(ctx context.Context, cfg *DPSGDConfig, out io.Writer) (*store.Reader, error) {
+	if _, err := os.Stat(cfg.CachePath); err == nil {
+		rd, err := store.Open(cfg.CachePath)
+		if err != nil {
+			return nil, fmt.Errorf("cli: reusing -cache failed (delete it to reconvert): %w", err)
+		}
+		if cfg.ChunkRows > 0 && rd.ChunkRows() != cfg.ChunkRows {
+			fmt.Fprintf(out, "store: -chunk %d ignored — %s was written with %d-row chunks (delete it to reconvert)\n",
+				cfg.ChunkRows, cfg.CachePath, rd.ChunkRows())
+		}
+		fmt.Fprintf(out, "store: reusing %s (m=%d d=%d density=%.4f, %d chunks)\n",
+			cfg.CachePath, rd.Len(), rd.Dim(), rd.Density(), rd.Chunks())
+		return rd, nil
+	}
+
+	start := time.Now()
+	// RemapLabels01: this path writes raw, never-loaded labels, so the
+	// loaders' {0,1} → ±1 convenience remap must be asked for here to
+	// keep -cache and plain -data training equivalent.
+	w, err := store.Create(cfg.CachePath, store.Options{ChunkRows: cfg.ChunkRows, RemapLabels01: true})
+	if err != nil {
+		return nil, err
+	}
+	const ctxStride = 4096 // poll cadence: one Err check per stride of rows
+	n := 0
+	err = data.ScanLIBSVM(cfg.DataPath, func(row *vec.Sparse, y float64) error {
+		if n%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		n++
+		// The same unit-ball normalization the in-memory path applies
+		// with Normalize(), done per row while it is still in flight.
+		if nrm := row.Norm(); nrm > 1 {
+			row.Scale(1 / nrm)
+		}
+		return w.Append(row, y)
+	})
+	if err == nil {
+		err = w.Close()
+		if err != nil {
+			os.Remove(cfg.CachePath)
+		}
+	} else {
+		w.Abort()
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "store: converted %s → %s in %v (m=%d d=%d nnz=%d density=%.4f)\n",
+		cfg.DataPath, cfg.CachePath, time.Since(start).Round(time.Millisecond),
+		w.Rows(), w.Dim(), w.NNZ(), w.Density())
+	rd, err := store.Open(cfg.CachePath)
+	if err != nil {
+		return nil, err
+	}
+	return rd, nil
 }

@@ -340,3 +340,136 @@ func TestRunDPSGDSparseRouting(t *testing.T) {
 		t.Errorf("dense routing not reported: %q", out)
 	}
 }
+
+// The -cache / -chunk flags: parse validation.
+func TestParseDPSGDCacheFlags(t *testing.T) {
+	cfg, err := ParseDPSGD([]string{"-data", "x.libsvm", "-cache", "x.bolt", "-chunk", "128"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CachePath != "x.bolt" || cfg.ChunkRows != 128 {
+		t.Errorf("parsed: %+v", cfg)
+	}
+	for _, tc := range [][]string{
+		{"-cache", "x.bolt"}, // -cache without -data
+		{"-data", "x.libsvm", "-cache", "x.bolt", "-chunk", "-1"}, // negative chunk
+		{"-data", "x.libsvm", "-chunk", "64"},                     // -chunk without -cache
+	} {
+		if _, err := ParseDPSGD(tc, io.Discard); err == nil {
+			t.Errorf("args %v accepted", tc)
+		}
+	}
+}
+
+// sparseLIBSVMFile writes a small separable sparse LIBSVM file.
+func sparseLIBSVMFile(t *testing.T, dir string, rows int) string {
+	t.Helper()
+	path := filepath.Join(dir, "train.libsvm")
+	var b strings.Builder
+	for i := 0; i < rows; i++ {
+		if i%2 == 0 {
+			b.WriteString("1 3:0.8 50:0.1\n")
+		} else {
+			b.WriteString("-1 7:-0.8 50:0.1\n")
+		}
+	}
+	if err := writeFile(path, b.String()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// End to end: -cache converts once, trains from the store, and a
+// second run reuses the cache file instead of re-parsing the LIBSVM.
+func TestRunDPSGDCacheConvertsOnceThenReuses(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := sparseLIBSVMFile(t, dir, 200)
+	cachePath := filepath.Join(dir, "train.bolt")
+
+	out, err := runQuick(t, func(c *DPSGDConfig) {
+		c.DataPath = dataPath
+		c.CachePath = cachePath
+		c.ChunkRows = 32
+		c.Eps = 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "store: converted") {
+		t.Errorf("first run did not convert: %q", out)
+	}
+	if !strings.Contains(out, "sparse execution kernel over on-disk chunks") {
+		t.Errorf("store routing not reported: %q", out)
+	}
+	if !strings.Contains(out, "d=50") || !strings.Contains(out, "test  accuracy:") {
+		t.Errorf("store-backed run output: %q", out)
+	}
+	if _, err := os.Stat(cachePath); err != nil {
+		t.Fatalf("cache file missing: %v", err)
+	}
+
+	// Second run: the LIBSVM file is not needed anymore.
+	if err := os.Remove(dataPath); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runQuick(t, func(c *DPSGDConfig) {
+		c.DataPath = dataPath // still set; must not be read
+		c.CachePath = cachePath
+		c.Eps = 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "store: reusing") {
+		t.Errorf("second run did not reuse the cache: %q", out)
+	}
+}
+
+// Store-backed training works under every execution strategy.
+func TestRunDPSGDCacheStrategies(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := sparseLIBSVMFile(t, dir, 200)
+	cachePath := filepath.Join(dir, "train.bolt")
+	for _, tc := range []struct {
+		strategy string
+		workers  int
+		passes   int
+	}{
+		{"sequential", 1, 2},
+		{"sharded", 3, 2},
+		{"streaming", 1, 1},
+	} {
+		out, err := runQuick(t, func(c *DPSGDConfig) {
+			c.DataPath = dataPath
+			c.CachePath = cachePath
+			c.Strategy = tc.strategy
+			c.Workers = tc.workers
+			c.Passes = tc.passes
+			c.Eps = 4
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.strategy, err)
+		}
+		if !strings.Contains(out, "test  accuracy:") {
+			t.Errorf("%s: output %q", tc.strategy, out)
+		}
+	}
+}
+
+// A corrupt cache file fails closed with a hint, instead of training
+// on damaged data.
+func TestRunDPSGDCacheCorruptFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := sparseLIBSVMFile(t, dir, 120)
+	cachePath := filepath.Join(dir, "train.bolt")
+	if err := writeFile(cachePath, "not a store file at all"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := runQuick(t, func(c *DPSGDConfig) {
+		c.DataPath = dataPath
+		c.CachePath = cachePath
+	})
+	if err == nil || !strings.Contains(err.Error(), "delete it to reconvert") {
+		t.Fatalf("corrupt cache err = %v", err)
+	}
+}

@@ -19,7 +19,6 @@ import (
 	"math/rand"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 
 	"boltondp/internal/vec"
@@ -270,88 +269,40 @@ func ScaleSim(seed int64, m, d int) *Dataset {
 // positive, fixes the dimension; otherwise the maximum index observed
 // is used. Labels are kept as parsed; callers wanting ±1 should ensure
 // the file uses ±1 (0/1 files are remapped to ±1 as a convenience).
+// Duplicate column entries on one line are summed (the canonical form
+// every LIBSVM consumer in this repository shares via ScanLIBSVM).
 func LoadLIBSVM(path string, dim int) (*Dataset, error) {
-	f, err := os.Open(path)
+	var rows []*vec.Sparse
+	var ys []float64
+	maxIdx := dim - 1
+	labels := map[float64]bool{}
+	err := ScanLIBSVM(path, func(row *vec.Sparse, y float64) error {
+		if mi := row.MaxIndex(); mi > maxIdx {
+			maxIdx = mi
+		}
+		rows = append(rows, row)
+		ys = append(ys, y)
+		labels[y] = true
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("data: %w", err)
-	}
-	defer f.Close()
-
-	type row struct {
-		y    float64
-		idx  []int
-		vals []float64
-	}
-	var rows []row
-	maxIdx := dim
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		y, err := strconv.ParseFloat(fields[0], 64)
-		if err != nil {
-			return nil, fmt.Errorf("data: %s:%d: bad label %q", path, lineNo, fields[0])
-		}
-		rw := row{y: y}
-		for _, kv := range fields[1:] {
-			colon := strings.IndexByte(kv, ':')
-			if colon < 0 {
-				return nil, fmt.Errorf("data: %s:%d: bad feature %q", path, lineNo, kv)
-			}
-			idx, err := strconv.Atoi(kv[:colon])
-			if err != nil || idx < 1 {
-				return nil, fmt.Errorf("data: %s:%d: bad index %q", path, lineNo, kv)
-			}
-			val, err := strconv.ParseFloat(kv[colon+1:], 64)
-			if err != nil {
-				return nil, fmt.Errorf("data: %s:%d: bad value %q", path, lineNo, kv)
-			}
-			rw.idx = append(rw.idx, idx)
-			rw.vals = append(rw.vals, val)
-			if idx > maxIdx {
-				maxIdx = idx
-			}
-		}
-		rows = append(rows, rw)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("data: %w", err)
+		return nil, err
 	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("data: %s: no examples", path)
 	}
-	if maxIdx < 1 {
+	if maxIdx < 0 {
 		return nil, fmt.Errorf("data: %s: no features (dimension 0)", path)
 	}
 
-	labels := map[float64]bool{}
 	d := &Dataset{Name: path}
+	d.Classes = remap01(ys, labels)
 	d.X = make([][]float64, len(rows))
-	d.Y = make([]float64, len(rows))
-	for i, rw := range rows {
-		x := make([]float64, maxIdx)
-		for j, idx := range rw.idx {
-			x[idx-1] = rw.vals[j]
-		}
+	d.Y = ys
+	for i, row := range rows {
+		x := make([]float64, maxIdx+1)
+		row.Scatter(x)
 		d.X[i] = x
-		d.Y[i] = rw.y
-		labels[rw.y] = true
-	}
-	// Remap {0,1} to {−1,+1}.
-	if len(labels) == 2 && labels[0] && labels[1] {
-		for i := range d.Y {
-			d.Y[i] = 2*d.Y[i] - 1
-		}
-	}
-	d.Classes = len(labels)
-	if d.Classes < 2 {
-		d.Classes = 2
 	}
 	return d, nil
 }

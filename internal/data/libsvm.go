@@ -1,0 +1,94 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"boltondp/internal/vec"
+)
+
+// ScanLIBSVM streams a LIBSVM/SVMlight file ("label idx:val idx:val
+// ..." per line, 1-based indices) through fn, one canonicalized row
+// per call, in file order. It is the single implementation of the
+// LIBSVM grammar: both in-memory loaders and the out-of-core store
+// conversion are built on it, so the three paths cannot drift apart
+// and the whole file is read exactly once however it is consumed.
+//
+// Rows are canonicalized through vec.SortedCopy (indices sorted,
+// duplicates summed) and remapped to 0-based indices. Labels are
+// passed through as parsed — the {0,1} → ±1 convenience remap needs
+// the full label set and is applied by the callers that materialize
+// one. A non-nil error from fn aborts the scan and is returned as-is.
+func ScanLIBSVM(path string, fn func(row *vec.Sparse, y float64) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	var idx []int
+	var val []float64
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		y, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return fmt.Errorf("data: %s:%d: bad label %q", path, lineNo, fields[0])
+		}
+		idx = idx[:0]
+		val = val[:0]
+		for _, kv := range fields[1:] {
+			colon := strings.IndexByte(kv, ':')
+			if colon < 0 {
+				return fmt.Errorf("data: %s:%d: bad feature %q", path, lineNo, kv)
+			}
+			ix, err := strconv.Atoi(kv[:colon])
+			if err != nil || ix < 1 {
+				return fmt.Errorf("data: %s:%d: bad index %q", path, lineNo, kv)
+			}
+			v, err := strconv.ParseFloat(kv[colon+1:], 64)
+			if err != nil {
+				return fmt.Errorf("data: %s:%d: bad value %q", path, lineNo, kv)
+			}
+			idx = append(idx, ix-1)
+			val = append(val, v)
+		}
+		row, err := vec.SortedCopy(idx, val)
+		if err != nil {
+			return fmt.Errorf("data: %s:%d: %w", path, lineNo, err)
+		}
+		if err := fn(row, y); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("data: %w", err)
+	}
+	return nil
+}
+
+// remap01 rewrites ys in place from {0,1} to {−1,+1} when the label
+// set is exactly {0,1}, and returns the class count the loaders
+// report (distinct labels, minimum 2).
+func remap01(ys []float64, labels map[float64]bool) int {
+	if len(labels) == 2 && labels[0] && labels[1] {
+		for i := range ys {
+			ys[i] = 2*ys[i] - 1
+		}
+	}
+	classes := len(labels)
+	if classes < 2 {
+		classes = 2
+	}
+	return classes
+}

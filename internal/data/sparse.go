@@ -1,13 +1,9 @@
 package data
 
 import (
-	"bufio"
 	"fmt"
 	"math"
 	"math/rand"
-	"os"
-	"strconv"
-	"strings"
 
 	"boltondp/internal/sgd"
 	"boltondp/internal/vec"
@@ -194,92 +190,43 @@ func (d *SparseDataset) Normalize() {
 	}
 }
 
-// LoadLIBSVMSparse reads a LIBSVM file directly into CSR form without
-// materializing dense rows — the right loader for high-dimensional
-// sparse data. dim semantics match LoadLIBSVM; 0/1 labels are remapped
-// to ±1.
+// LoadLIBSVMSparse reads a LIBSVM file directly into CSR form in one
+// streaming pass: rows are appended to the CSR arrays as they are
+// parsed (via ScanLIBSVM, the shared grammar), so no dense row and no
+// intermediate per-row copy is ever materialized and the density is
+// known the moment the single pass ends. dim semantics match
+// LoadLIBSVM; 0/1 labels are remapped to ±1.
 func LoadLIBSVMSparse(path string, dim int) (*SparseDataset, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("data: %w", err)
-	}
-	defer f.Close()
-
-	var rows []*vec.Sparse
-	var ys []float64
 	maxIdx := dim - 1
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	indptr := []int{0}
+	var idx []int
+	var val []float64
+	var ys []float64
+	labels := map[float64]bool{}
+	err := ScanLIBSVM(path, func(row *vec.Sparse, y float64) error {
+		if mi := row.MaxIndex(); mi > maxIdx {
+			maxIdx = mi
 		}
-		fields := strings.Fields(line)
-		y, err := strconv.ParseFloat(fields[0], 64)
-		if err != nil {
-			return nil, fmt.Errorf("data: %s:%d: bad label %q", path, lineNo, fields[0])
-		}
-		var idx []int
-		var val []float64
-		for _, kv := range fields[1:] {
-			colon := strings.IndexByte(kv, ':')
-			if colon < 0 {
-				return nil, fmt.Errorf("data: %s:%d: bad feature %q", path, lineNo, kv)
-			}
-			ix, err := strconv.Atoi(kv[:colon])
-			if err != nil || ix < 1 {
-				return nil, fmt.Errorf("data: %s:%d: bad index %q", path, lineNo, kv)
-			}
-			v, err := strconv.ParseFloat(kv[colon+1:], 64)
-			if err != nil {
-				return nil, fmt.Errorf("data: %s:%d: bad value %q", path, lineNo, kv)
-			}
-			idx = append(idx, ix-1)
-			val = append(val, v)
-			if ix-1 > maxIdx {
-				maxIdx = ix - 1
-			}
-		}
-		s, err := vec.SortedCopy(idx, val)
-		if err != nil {
-			return nil, fmt.Errorf("data: %s:%d: %w", path, lineNo, err)
-		}
-		rows = append(rows, s)
+		idx = append(idx, row.Idx...)
+		val = append(val, row.Val...)
+		indptr = append(indptr, len(idx))
 		ys = append(ys, y)
+		labels[y] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("data: %w", err)
-	}
-	if len(rows) == 0 {
+	if len(ys) == 0 {
 		return nil, fmt.Errorf("data: %s: no examples", path)
 	}
 	if maxIdx < 0 {
 		return nil, fmt.Errorf("data: %s: no features (dimension 0)", path)
 	}
 
-	labels := map[float64]bool{}
-	for _, y := range ys {
-		labels[y] = true
-	}
-	if len(labels) == 2 && labels[0] && labels[1] {
-		for i := range ys {
-			ys[i] = 2*ys[i] - 1
-		}
-	}
-
 	out := NewSparseDataset(path, maxIdx+1)
-	out.Classes = len(labels)
-	if out.Classes < 2 {
-		out.Classes = 2
-	}
-	for i, s := range rows {
-		if err := out.Append(s, ys[i]); err != nil {
-			return nil, err
-		}
-	}
+	out.Classes = remap01(ys, labels)
+	out.indptr, out.idx, out.val, out.y = indptr, idx, val, ys
 	return out, nil
 }
 

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"boltondp/internal/data"
+	"boltondp/internal/engine"
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+	"boltondp/internal/store"
+)
+
+// OutOfCore measures the on-disk columnar dataset store (the PR 5
+// tentpole, DESIGN.md §7) against in-memory training across density ×
+// chunk-size, the two axes of its cost model. Every cell converts the
+// same CSR dataset to a store file, trains the same single-pass
+// streaming epoch from both representations under the same seed, and
+// reports the conversion time, file size, epoch times and the
+// overhead ratio — the number the CI gate pins at ≤ 1.15 on the KDD
+// workload. Models are checked bit-identical per cell (the
+// representation-independence invariant), so the table measures cost
+// only; there is no accuracy column because there is nothing that
+// could differ.
+func OutOfCore(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(cfg.Out, "== Out-of-core: store-backed vs in-memory epoch, density × chunk size ==")
+
+	lambda := compLambda(1e-2, cfg.Scale)
+	f := loss.NewLogistic(lambda, 0)
+
+	type workload struct {
+		name string
+		ds   *data.SparseDataset
+	}
+	var loads []workload
+	m := scaled(100000, cfg.Scale, 2000)
+	nnzGrid := []int{10, 50, 200}
+	if cfg.Quick {
+		nnzGrid = []int{50}
+	}
+	for _, nnz := range nnzGrid {
+		ds := data.SparseSynthetic(rand.New(rand.NewSource(cfg.Seed)), m, 1000, nnz, 0.02)
+		loads = append(loads, workload{fmt.Sprintf("synth d=1000 %.0f%%", 100*float64(nnz)/1000), ds})
+	}
+	kdd, _ := data.KDDSimSparse(rand.New(rand.NewSource(cfg.Seed+1)), cfg.Scale)
+	loads = append(loads, workload{fmt.Sprintf("kdd-onehot d=%d %.0f%%", kdd.Dim(), 100*kdd.Density()), kdd})
+
+	chunkGrid := []int{1024, store.DefaultChunkRows, 16384}
+	if cfg.Quick {
+		chunkGrid = []int{store.DefaultChunkRows}
+	}
+
+	dir, err := os.MkdirTemp("", "boltondp-outofcore")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	epoch := func(s sgd.Samples) ([]float64, time.Duration, error) {
+		start := time.Now()
+		res, err := engine.Run(s, engine.Config{
+			Strategy: engine.Streaming,
+			SGD: sgd.Config{
+				Loss: f, Step: sgd.InvSqrtT(1), Passes: 1, Batch: 10, Radius: 1 / lambda,
+			},
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.W, time.Since(start), nil
+	}
+
+	w := newTab(cfg)
+	fmt.Fprintln(w, "workload\trows\tchunk\tconvert\tfile MB\tmem epoch\tstore epoch\toverhead\tbit-identical")
+	for _, ld := range loads {
+		for _, chunkRows := range chunkGrid {
+			path := filepath.Join(dir, "o.bolt")
+			start := time.Now()
+			if err := store.Write(path, ld.ds, store.Options{ChunkRows: chunkRows}); err != nil {
+				return err
+			}
+			convert := time.Since(start)
+			st, err := os.Stat(path)
+			if err != nil {
+				return err
+			}
+			rd, err := store.Open(path)
+			if err != nil {
+				return err
+			}
+
+			// Warm both paths once, then time the better of two epochs
+			// each (the experiment analogue of the CI gate's min-of-N).
+			if _, _, err := epoch(ld.ds); err != nil {
+				rd.Close()
+				return err
+			}
+			if _, _, err := epoch(rd); err != nil {
+				rd.Close()
+				return err
+			}
+			wm, ws := time.Duration(math.MaxInt64), time.Duration(math.MaxInt64)
+			var wMem, wStore []float64
+			for i := 0; i < 2; i++ {
+				model, d, err := epoch(ld.ds)
+				if err != nil {
+					rd.Close()
+					return err
+				}
+				if d < wm {
+					wm = d
+				}
+				wMem = model
+				if model, d, err = epoch(rd); err != nil {
+					rd.Close()
+					return err
+				}
+				if d < ws {
+					ws = d
+				}
+				wStore = model
+			}
+			identical := len(wMem) == len(wStore)
+			for i := range wMem {
+				identical = identical && math.Float64bits(wMem[i]) == math.Float64bits(wStore[i])
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%.1f\t%v\t%v\t%.2fx\t%t\n",
+				ld.name, ld.ds.Len(), chunkRows,
+				convert.Round(time.Millisecond), float64(st.Size())/(1<<20),
+				wm.Round(time.Millisecond), ws.Round(time.Millisecond),
+				float64(ws)/float64(wm), identical)
+			rd.Close()
+		}
+	}
+	return w.Flush()
+}

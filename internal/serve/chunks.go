@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+)
+
+// ChunkSource is a batch-scoring input that streams labeled CSR
+// chunks: the shape of the out-of-core dataset store (store.Reader
+// implements it), declared here as an interface so the serving layer
+// stays independent of the storage layer. ChunkCSR returns chunk c as
+// chunk-local CSR arrays plus labels; the slices need only stay valid
+// until the next ChunkCSR call.
+type ChunkSource interface {
+	Chunks() int
+	ChunkCSR(c int) (indptr, idx []int, val, y []float64, err error)
+}
+
+// ScoreChunks scores every row of a chunk source against the model,
+// one chunk at a time — batch scoring for datasets that do not fit in
+// memory. Each chunk is scored through the columnar CSR hot path
+// (ScoreBatchCSRCtx) with per-row work fanned out across workers, then
+// handed to fn together with its labels and the global row offset of
+// its first row; memory stays O(chunk) end to end. A non-nil error
+// from fn aborts the stream and is returned as-is.
+func (m *Model) ScoreChunks(ctx context.Context, src ChunkSource, workers int, fn func(base int, preds, y []float64) error) error {
+	base := 0
+	for c := 0; c < src.Chunks(); c++ {
+		indptr, idx, val, y, err := src.ChunkCSR(c)
+		if err != nil {
+			return err
+		}
+		preds, err := m.ScoreBatchCSRCtx(ctx, indptr, idx, val, workers)
+		if err != nil {
+			return fmt.Errorf("serve: chunk %d: %w", c, err)
+		}
+		if err := fn(base, preds, y); err != nil {
+			return err
+		}
+		base += len(y)
+	}
+	return nil
+}

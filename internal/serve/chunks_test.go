@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"boltondp/internal/data"
+	"boltondp/internal/eval"
+	"boltondp/internal/store"
+)
+
+// chunkModel builds a model plus a store file of scoreable rows.
+func chunkModel(t *testing.T) (*Model, *store.Reader, *data.SparseDataset) {
+	t.Helper()
+	r := rand.New(rand.NewSource(31))
+	ds := data.SparseSynthetic(r, 300, 40, 5, 0.02)
+	path := filepath.Join(t.TempDir(), "rows.bolt")
+	if err := store.Write(path, ds, store.Options{ChunkRows: 64}); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rd.Close() })
+	w := make([]float64, ds.Dim())
+	for i := range w {
+		w[i] = r.NormFloat64()
+	}
+	m, err := newModel("chunks", &eval.Linear{W: w}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, rd, ds
+}
+
+// ScoreChunks must agree row for row with single-row scoring, cover
+// every row exactly once, and report correct global offsets.
+func TestScoreChunksMatchesSingleRow(t *testing.T) {
+	m, rd, ds := chunkModel(t)
+	seen := 0
+	err := m.ScoreChunks(context.Background(), rd, 2, func(base int, preds, y []float64) error {
+		if len(preds) != len(y) {
+			t.Fatalf("chunk at %d: %d preds for %d labels", base, len(preds), len(y))
+		}
+		for i := range preds {
+			row, wantY := ds.AtSparse(base + i)
+			if y[i] != wantY {
+				t.Fatalf("row %d: label %v, want %v", base+i, y[i], wantY)
+			}
+			single, err := m.Score(&Row{Idx: row.Idx, Val: row.Val})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if preds[i] != single {
+				t.Fatalf("row %d: chunk pred %v != single-row %v", base+i, preds[i], single)
+			}
+		}
+		seen += len(y)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != rd.Len() {
+		t.Fatalf("scored %d rows, want %d", seen, rd.Len())
+	}
+}
+
+// A callback error aborts the stream and surfaces unchanged.
+func TestScoreChunksCallbackError(t *testing.T) {
+	m, rd, _ := chunkModel(t)
+	boom := errors.New("boom")
+	calls := 0
+	err := m.ScoreChunks(context.Background(), rd, 1, func(int, []float64, []float64) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after erroring", calls)
+	}
+}
+
+// A cancelled context stops chunk scoring promptly with ctx.Err().
+func TestScoreChunksCancelled(t *testing.T) {
+	m, rd, _ := chunkModel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := m.ScoreChunks(ctx, rd, 2, func(int, []float64, []float64) error {
+		t.Fatal("callback ran under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

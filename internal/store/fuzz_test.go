@@ -1,0 +1,101 @@
+package store_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"boltondp/internal/data"
+	"boltondp/internal/store"
+)
+
+// storeBytes builds a small valid store file and returns its raw
+// bytes, the base material for the seed corpus.
+func storeBytes(f *testing.F, chunkRows int) []byte {
+	f.Helper()
+	r := rand.New(rand.NewSource(int64(chunkRows)))
+	ds := data.SparseSynthetic(r, 37, 20, 4, 0)
+	path := filepath.Join(f.TempDir(), "seed.bolt")
+	if err := store.Write(path, ds, store.Options{ChunkRows: chunkRows}); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzReadStore feeds arbitrary bytes to the store reader: Open plus a
+// full Verify must either succeed or return an error — never panic,
+// hang or over-allocate. The seed corpus covers valid files at several
+// chunk geometries plus the corruption classes the fail-closed tests
+// pin (truncation, payload/directory bit flips, header field damage).
+func FuzzReadStore(f *testing.F) {
+	valid := storeBytes(f, 8)
+	f.Add(valid)
+	f.Add(storeBytes(f, 1))
+	f.Add(storeBytes(f, 64))
+
+	mutate := func(fn func(b []byte) []byte) {
+		f.Add(fn(append([]byte(nil), valid...)))
+	}
+	mutate(func(b []byte) []byte { b[0] ^= 0xFF; return b })           // magic
+	mutate(func(b []byte) []byte { b[8] = 99; return b })              // version
+	mutate(func(b []byte) []byte { b[12] = 0; return b })              // chunkRows = 0
+	mutate(func(b []byte) []byte { b[16] = 0xFF; return b })           // dim damage
+	mutate(func(b []byte) []byte { b[24] ^= 0x01; return b })          // rows damage
+	mutate(func(b []byte) []byte { b[36] ^= 0x01; return b })          // flags damage
+	mutate(func(b []byte) []byte { b[48] ^= 0x01; return b })          // chunk header rows
+	mutate(func(b []byte) []byte { b[52] ^= 0x01; return b })          // chunk header nnz
+	mutate(func(b []byte) []byte { b[48+16+8] ^= 0x80; return b })     // payload value
+	mutate(func(b []byte) []byte { b[len(b)-48] ^= 0x01; return b })   // footer dirOffset
+	mutate(func(b []byte) []byte { b[len(b)-48-1] ^= 0x01; return b }) // directory byte
+	mutate(func(b []byte) []byte { return b[:len(b)-1] })              // truncated footer
+	mutate(func(b []byte) []byte { return b[:64] })                    // truncated mid-chunk
+	mutate(func(b []byte) []byte { return append(b, 0, 0, 0, 0) })     // trailing garbage
+	f.Add([]byte{})
+	f.Add([]byte("BOLTSTR1"))
+
+	// One scratch file per worker process: os.WriteFile truncates, so
+	// each exec sees only its own bytes, without a TempDir per exec.
+	var scratch string
+	var scratchOnce sync.Once
+
+	f.Fuzz(func(t *testing.T, content []byte) {
+		scratchOnce.Do(func() {
+			fh, err := os.CreateTemp("", "boltstore-fuzz-*.bolt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch = fh.Name()
+			fh.Close()
+		})
+		path := scratch
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Skip()
+		}
+		r, err := store.Open(path)
+		if err != nil {
+			return // failed closed
+		}
+		defer r.Close()
+		// A file Open accepts must serve consistent metadata and either
+		// verify fully or error — never panic.
+		if r.Len() < 1 || r.Dim() < 1 || r.Chunks() < 1 {
+			t.Fatalf("Open accepted a store with Len=%d Dim=%d Chunks=%d", r.Len(), r.Dim(), r.Chunks())
+		}
+		if err := r.Verify(); err != nil {
+			return
+		}
+		// A fully verified store must serve every row without panicking.
+		for i := 0; i < r.Len(); i++ {
+			x, _ := r.AtSparse(i)
+			if got := x.NNZ(); got < 0 {
+				t.Fatalf("row %d: negative nnz %d", i, got)
+			}
+		}
+	})
+}

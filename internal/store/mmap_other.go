@@ -1,0 +1,18 @@
+//go:build !((linux || darwin) && (amd64 || arm64))
+
+package store
+
+import "os"
+
+// Fallback stubs: no mapped fast path — Readers decode chunks through
+// buffered pread into reused arenas instead.
+
+func mapFile(*os.File, int64) []byte { return nil }
+
+func unmapFile([]byte) {}
+
+// asF64 and asInt are never reached when mapFile returns nil; they
+// exist so reader.go compiles unconditionally.
+func asF64([]byte) []float64 { panic("store: mapped path on unsupported platform") }
+
+func asInt([]byte) []int { panic("store: mapped path on unsupported platform") }

@@ -1,0 +1,55 @@
+//go:build (linux || darwin) && (amd64 || arm64)
+
+package store
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// The mapped fast path is compiled only where it is correct: mmap'd
+// little-endian hosts whose int is 64 bits, so the file's i64/f64
+// sections can be served as []int and []float64 slices straight into
+// the mapping. Everywhere else mapFile returns nil and the Reader
+// falls back to buffered pread + explicit decode.
+
+// mapFile maps size bytes of f read-only, or returns nil to select
+// the fallback path.
+func mapFile(f *os.File, size int64) []byte {
+	if size <= 0 || int64(int(size)) != size {
+		return nil
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+// unmapFile releases a mapping returned by mapFile.
+func unmapFile(m []byte) {
+	if m != nil {
+		syscall.Munmap(m)
+	}
+}
+
+// asF64 reinterprets an 8-aligned little-endian byte section as
+// []float64 without copying. The format guarantees the alignment
+// (every section is 8-byte-aligned in the file and the mapping is
+// page-aligned); Open enforces it on untrusted files.
+func asF64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// asInt reinterprets an 8-aligned little-endian i64 byte section as
+// []int (64-bit on every platform this file builds on).
+func asInt(b []byte) []int {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int)(unsafe.Pointer(&b[0])), len(b)/8)
+}

@@ -1,0 +1,155 @@
+package store_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"boltondp/internal/core"
+	"boltondp/internal/data"
+	"boltondp/internal/dp"
+	"boltondp/internal/engine"
+	"boltondp/internal/eval"
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+	"boltondp/internal/store"
+)
+
+// bitsEqual compares two models for bit-for-bit identity.
+func bitsEqual(t *testing.T, tag string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: dim %d != %d", tag, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: w[%d] = %x, want %x — store-backed training diverged from in-memory", tag, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestStoreTrainingParity pins the tentpole invariant: training from a
+// store file is bit-identical to training from the in-memory dataset
+// it was written from, under every execution strategy. The store holds
+// the exact IEEE-754 bits and the engine consumes randomness
+// identically either way, so the final iterates must agree exactly —
+// not approximately.
+func TestStoreTrainingParity(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	ds, _ := data.KDDSimSparse(r, 0.004) // ~2.1k rows, d=122, ~10% density
+	rd := openStore(t, writeStore(t, t.TempDir(), ds, store.Options{ChunkRows: 256}))
+
+	f := loss.NewLogistic(1e-2, 0)
+	base := sgd.Config{
+		Loss:   f,
+		Step:   sgd.InvSqrtT(1),
+		Radius: 100,
+	}
+
+	cases := []struct {
+		name    string
+		cfg     engine.Config
+		seed    int64
+		passes  int
+		average bool
+	}{
+		{name: "sequential", cfg: engine.Config{Strategy: engine.Sequential}, seed: 1, passes: 3},
+		{name: "sequential-avg", cfg: engine.Config{Strategy: engine.Sequential}, seed: 2, passes: 3, average: true},
+		{name: "sharded-4", cfg: engine.Config{Strategy: engine.Sharded, Workers: 4}, seed: 3, passes: 3},
+		{name: "streaming", cfg: engine.Config{Strategy: engine.Streaming}, seed: 4, passes: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(s sgd.Samples) *engine.Result {
+				cfg := tc.cfg
+				cfg.SGD = base
+				cfg.SGD.Passes = tc.passes
+				cfg.SGD.Average = tc.average
+				if tc.cfg.Strategy != engine.Streaming {
+					cfg.SGD.Rand = rand.New(rand.NewSource(tc.seed))
+				}
+				res, err := engine.Run(s, cfg)
+				if err != nil {
+					t.Fatalf("engine.Run: %v", err)
+				}
+				return res
+			}
+			mem := run(ds)
+			disk := run(rd)
+			bitsEqual(t, "W", disk.W, mem.W)
+			if tc.average {
+				bitsEqual(t, "WAvg", disk.WAvg, mem.WAvg)
+			}
+			if !sgd.UsesSparseKernel(rd, sgd.Config{Loss: f}) {
+				t.Fatal("store reader fell off the sparse kernel")
+			}
+		})
+	}
+}
+
+// TestStorePrivateTrainingParity pins the DESIGN.md §7 invariant that
+// sensitivity calibration is representation-independent: a private
+// TrainCtx run from a store file produces the same calibrated Δ₂ and —
+// because noise is drawn from the same Rand after identical
+// consumption — the bit-identical released model, per strategy.
+func TestStorePrivateTrainingParity(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	ds, _ := data.KDDSimSparse(r, 0.002)
+	rd := openStore(t, writeStore(t, t.TempDir(), ds, store.Options{ChunkRows: 128}))
+
+	f := loss.NewLogistic(1e-2, 0)
+	for _, tc := range []struct {
+		name     string
+		strategy engine.Strategy
+		workers  int
+		passes   int
+	}{
+		{"sequential", engine.Sequential, 1, 2},
+		{"sharded-3", engine.Sharded, 3, 2},
+		{"streaming", engine.Streaming, 1, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(s sgd.Samples) *core.Result {
+				res, err := core.TrainCtx(context.Background(), s, f,
+					core.WithBudget(dp.Budget{Epsilon: 1}),
+					core.WithPasses(tc.passes), core.WithBatch(10), core.WithRadius(100),
+					core.WithStrategy(tc.strategy, tc.workers),
+					core.WithRand(rand.New(rand.NewSource(99))))
+				if err != nil {
+					t.Fatalf("TrainCtx: %v", err)
+				}
+				return res
+			}
+			mem := run(ds)
+			disk := run(rd)
+			if disk.Sensitivity != mem.Sensitivity {
+				t.Fatalf("Δ₂ differs by representation: %v != %v", disk.Sensitivity, mem.Sensitivity)
+			}
+			if disk.NoiseNorm != mem.NoiseNorm {
+				t.Fatalf("noise norm differs: %v != %v", disk.NoiseNorm, mem.NoiseNorm)
+			}
+			bitsEqual(t, "private W", disk.W, mem.W)
+		})
+	}
+}
+
+// TestStoreScoringParity: eval's scoring helpers accept a store reader
+// like any other sample source and take the sparse tier.
+func TestStoreScoringParity(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	ds := data.SparseSynthetic(r, 400, 50, 6, 0.02)
+	rd := openStore(t, writeStore(t, t.TempDir(), ds, store.Options{ChunkRows: 64}))
+
+	w := make([]float64, ds.Dim())
+	for i := range w {
+		w[i] = r.NormFloat64()
+	}
+	model := &eval.Linear{W: w}
+	if got, want := eval.Accuracy(rd, model), eval.Accuracy(ds, model); got != want {
+		t.Fatalf("store-backed accuracy %v != in-memory %v", got, want)
+	}
+	if got, want := eval.Errors(rd, model), eval.Errors(ds, model); got != want {
+		t.Fatalf("store-backed errors %v != in-memory %v", got, want)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package store_test
+
+const raceEnabled = false

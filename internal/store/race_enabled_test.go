@@ -1,0 +1,7 @@
+//go:build race
+
+package store_test
+
+// raceEnabled disables the epoch-overhead timing gate when race
+// instrumentation distorts the relative cost of decode vs arithmetic.
+const raceEnabled = true

@@ -1,0 +1,532 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"boltondp/internal/sgd"
+	"boltondp/internal/vec"
+)
+
+// Reader is a random-access view of a store file implementing both
+// tiers of the engine's data contract (sgd.Samples, sgd.SparseSamples)
+// plus engine.Sharder, so every execution strategy trains from it
+// directly. Each scanning view holds one chunk's worth of decoded
+// state: sequential access (the Streaming strategy, risk evaluation,
+// batch scoring) touches each chunk once per pass, while permutation
+// access (the Sequential strategy) pays a chunk switch whenever it
+// crosses a chunk boundary — correct at any access pattern, fastest
+// on scans.
+//
+// On little-endian 64-bit unix hosts the file is memory-mapped and
+// rows are served as slices straight into the mapping: a chunk switch
+// is a CRC + invariant check the first time a view visits the chunk
+// and pure slice arithmetic after that. Elsewhere chunks are pread
+// into reused arenas. Training is bit-identical either way.
+//
+// Like the other reused-buffer sources (bismarck.Table,
+// data.SparseDataset), a Reader must not be shared across concurrent
+// runs; the sharded engine goes through Shard, which hands each worker
+// an independent view over the same file handle (reads are pread /
+// read-only mapping accesses and never race).
+//
+// At and AtSparse implement interfaces without error returns, so on
+// I/O failure or corruption detected mid-training they panic with the
+// underlying error; every chunk is CRC- and invariant-checked before
+// any of its rows are served, so a bad byte surfaces as that panic (or
+// as an error from the error-returning ChunkCSR / Verify paths), never
+// as a silently wrong row.
+type Reader struct {
+	f    *os.File
+	path string
+	mm   []byte // whole-file mapping; nil selects the pread fallback
+
+	hdr       header
+	nnz       int64
+	chunks    int
+	dirOffset int64
+	offsets   []int64
+
+	cur cursor
+}
+
+// Open validates path's header, footer and chunk directory and returns
+// a Reader over it. Chunk payloads are validated lazily, CRC first, as
+// they are first visited.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	r, err := newReader(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func newReader(f *os.File, path string) (*Reader, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	size := st.Size()
+	if size < headerSize+chunkHeaderSize+footerSize {
+		return nil, fmt.Errorf("store: %s: file too short (%d bytes)", path, size)
+	}
+
+	var hbuf [headerSize]byte
+	if _, err := f.ReadAt(hbuf[:], 0); err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	hdr, err := decodeHeader(hbuf[:])
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+
+	var fbuf [footerSize]byte
+	if _, err := f.ReadAt(fbuf[:], size-footerSize); err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	ft, err := decodeFooter(fbuf[:])
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	if ft.rows != hdr.rows {
+		return nil, fmt.Errorf("store: %s: footer row count %d != header %d (interrupted write?)", path, ft.rows, hdr.rows)
+	}
+	wantChunks := (hdr.rows + hdr.chunkRows - 1) / hdr.chunkRows
+	if ft.chunks != wantChunks {
+		return nil, fmt.Errorf("store: %s: %d chunks recorded, want %d for %d rows of %d", path, ft.chunks, wantChunks, hdr.rows, hdr.chunkRows)
+	}
+	if ft.dirOffset+int64(8*ft.chunks)+footerSize != size {
+		return nil, fmt.Errorf("store: %s: directory does not reach the footer (truncated or overwritten file)", path)
+	}
+
+	dir := make([]byte, 8*ft.chunks)
+	if _, err := f.ReadAt(dir, ft.dirOffset); err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	if crc := crc32.ChecksumIEEE(dir); crc != ft.dirCRC {
+		return nil, fmt.Errorf("store: %s: directory checksum mismatch (%08x != %08x)", path, crc, ft.dirCRC)
+	}
+	offsets := make([]int64, ft.chunks)
+	prev := int64(headerSize - 1)
+	for i := range offsets {
+		off := int64(binary.LittleEndian.Uint64(dir[8*i : 8*i+8]))
+		if off <= prev || off+chunkHeaderSize > ft.dirOffset {
+			return nil, fmt.Errorf("store: %s: chunk %d offset %d out of order or out of bounds", path, i, off)
+		}
+		if off%8 != 0 {
+			// A format invariant, not just a corruption check: section
+			// alignment is what licenses the mapped zero-copy path.
+			return nil, fmt.Errorf("store: %s: chunk %d offset %d not 8-byte aligned", path, i, off)
+		}
+		offsets[i] = off
+		prev = off
+	}
+
+	r := &Reader{
+		f: f, path: path,
+		hdr: *hdr, nnz: ft.nnz, chunks: ft.chunks,
+		dirOffset: ft.dirOffset, offsets: offsets,
+	}
+	r.mm = mapFile(f, size)
+	r.cur.init(r)
+	return r, nil
+}
+
+// Close releases the file handle and mapping. Views handed out by
+// Shard share them and become invalid.
+func (r *Reader) Close() error {
+	unmapFile(r.mm)
+	r.mm = nil
+	if err := r.f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Path returns the file path the reader was opened from.
+func (r *Reader) Path() string { return r.path }
+
+// Len implements sgd.Samples.
+func (r *Reader) Len() int { return r.hdr.rows }
+
+// Dim implements sgd.Samples.
+func (r *Reader) Dim() int { return r.hdr.dim }
+
+// Classes returns the recorded class count (0 when the writer saw too
+// many distinct labels to count).
+func (r *Reader) Classes() int { return r.hdr.classes }
+
+// Chunks returns the number of chunks in the file.
+func (r *Reader) Chunks() int { return r.chunks }
+
+// ChunkRows returns the rows-per-chunk geometry (every chunk but the
+// last holds exactly this many rows).
+func (r *Reader) ChunkRows() int { return r.hdr.chunkRows }
+
+// NNZ returns the total stored non-zeros.
+func (r *Reader) NNZ() int64 { return r.nnz }
+
+// Density returns NNZ / (rows·dim).
+func (r *Reader) Density() float64 {
+	return float64(r.nnz) / (float64(r.hdr.rows) * float64(r.hdr.dim))
+}
+
+// At implements sgd.Samples (the dense tier): row i scattered into a
+// reused scratch buffer, valid until the next At call. It panics on
+// I/O failure or corruption (see the type comment).
+func (r *Reader) At(i int) ([]float64, float64) { return r.cur.at(i) }
+
+// AtSparse implements sgd.SparseSamples: a view of row i, valid until
+// an access to a different chunk. It panics on I/O failure or
+// corruption (see the type comment).
+func (r *Reader) AtSparse(i int) (*vec.Sparse, float64) { return r.cur.atSparse(i) }
+
+// Shard implements engine.Sharder: an independent read-only view of
+// rows [lo, hi) with its own chunk state over the shared file, so
+// shards of one store can be scanned concurrently by the sharded
+// engine.
+func (r *Reader) Shard(lo, hi int) sgd.Samples {
+	if lo < 0 || hi < lo || hi > r.hdr.rows {
+		panic(fmt.Sprintf("store: shard [%d,%d) out of bounds for %d rows", lo, hi, r.hdr.rows))
+	}
+	v := &view{lo: lo, hi: hi}
+	v.cur.init(r)
+	return v
+}
+
+// ChunkCSR loads chunk c and returns views of its CSR block:
+// chunk-local indptr (indptr[0] = 0), column indices, values and
+// labels. The slices are read-only and valid until the next access
+// through the same Reader. Unlike At, it reports corruption as an
+// error — the form the fuzz harness and batch scorers consume. The
+// chunk's rows are global rows [c·ChunkRows, c·ChunkRows+len(y)).
+func (r *Reader) ChunkCSR(c int) (indptr, idx []int, val, y []float64, err error) {
+	if c < 0 || c >= r.chunks {
+		return nil, nil, nil, nil, fmt.Errorf("store: chunk %d out of range [0,%d)", c, r.chunks)
+	}
+	if err := r.cur.load(c); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return r.cur.indptr, r.cur.idx, r.cur.val, r.cur.y, nil
+}
+
+// Verify loads every chunk, validating all checksums and CSR
+// invariants — the eager integrity check for a freshly converted or
+// untrusted file.
+func (r *Reader) Verify() error {
+	for c := 0; c < r.chunks; c++ {
+		if _, _, _, _, err := r.ChunkCSR(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// view is a Shard row-range restriction of a Reader with a private
+// cursor, translating to parent coordinates like every other shard
+// view in the repository.
+type view struct {
+	cur    cursor
+	lo, hi int
+}
+
+func (v *view) Len() int { return v.hi - v.lo }
+func (v *view) Dim() int { return v.cur.r.hdr.dim }
+
+func (v *view) At(i int) ([]float64, float64) {
+	if i < 0 || i >= v.hi-v.lo {
+		panic(fmt.Sprintf("store: shard row %d out of range [0,%d)", i, v.hi-v.lo))
+	}
+	return v.cur.at(v.lo + i)
+}
+
+func (v *view) AtSparse(i int) (*vec.Sparse, float64) {
+	if i < 0 || i >= v.hi-v.lo {
+		panic(fmt.Sprintf("store: shard row %d out of range [0,%d)", i, v.hi-v.lo))
+	}
+	return v.cur.atSparse(v.lo + i)
+}
+
+// Shard keeps views shardable in turn, translating to parent
+// coordinates so sharded runs over a row-range view stay race-free.
+func (v *view) Shard(lo, hi int) sgd.Samples {
+	if lo < 0 || hi < lo || hi > v.hi-v.lo {
+		panic(fmt.Sprintf("store: shard [%d,%d) out of bounds for %d rows", lo, hi, v.hi-v.lo))
+	}
+	return v.cur.r.Shard(v.lo+lo, v.lo+hi)
+}
+
+// cursor is one scanning view's chunk state. In the mapped path the
+// CSR slices point straight into the file mapping; each chunk is CRC-
+// and invariant-checked the first time this cursor visits it (the
+// verified bitmap), after which a chunk switch is slice arithmetic
+// only — zero work per row, zero allocations per chunk (gated by
+// TestStoreScanAllocs). In the fallback path chunks are pread and
+// decoded into the cursor's reused arenas on every switch.
+type cursor struct {
+	r   *Reader
+	cur int // loaded chunk, -1 when none
+	// lo/hi are the loaded chunk's global row range. The hot-path row
+	// lookup is two compares against them (no division, no bounds
+	// re-check); lo = hi = 0 while no chunk is valid, which routes
+	// every access through the checked slow path.
+	lo, hi int
+
+	verified []bool // mapped path: chunks already CRC/invariant-checked
+
+	indptr []int
+	idx    []int
+	val    []float64
+	y      []float64
+
+	raw    []byte    // fallback payload buffer
+	yArena []float64 // label remap buffer (FlagLabels01, mapped path)
+
+	scratch []float64 // dense At tier, allocated on first use
+	row     vec.Sparse
+}
+
+func (c *cursor) init(r *Reader) {
+	c.r = r
+	c.cur = -1
+	if r.mm != nil {
+		c.verified = make([]bool, r.chunks)
+	}
+}
+
+// chunkGeom reads and validates chunk n's header, returning its row
+// count, nnz, payload length and CRC.
+func (c *cursor) chunkGeom(n int, hbuf []byte) (rows, nnz, plen int, crc uint32, err error) {
+	r := c.r
+	rows = int(binary.LittleEndian.Uint32(hbuf[0:4]))
+	nnz = int(binary.LittleEndian.Uint32(hbuf[4:8]))
+	plen = int(binary.LittleEndian.Uint32(hbuf[8:12]))
+	crc = binary.LittleEndian.Uint32(hbuf[12:16])
+
+	wantRows := r.hdr.chunkRows
+	if n == r.chunks-1 {
+		wantRows = r.hdr.rows - (r.chunks-1)*r.hdr.chunkRows
+	}
+	if rows != wantRows {
+		return 0, 0, 0, 0, fmt.Errorf("store: %s: chunk %d holds %d rows, want %d", r.path, n, rows, wantRows)
+	}
+	if plen != payloadLen(rows, nnz) {
+		return 0, 0, 0, 0, fmt.Errorf("store: %s: chunk %d payload length %d inconsistent with %d rows / %d nnz", r.path, n, plen, rows, nnz)
+	}
+	if r.offsets[n]+chunkHeaderSize+int64(plen) > r.dirOffset {
+		return 0, 0, 0, 0, fmt.Errorf("store: %s: chunk %d payload overruns the directory", r.path, n)
+	}
+	return rows, nnz, plen, crc, nil
+}
+
+// validateCSR checks the decoded (or aliased) CSR block's invariants:
+// indptr monotone from 0 to nnz, indices in [0, dim) and strictly
+// increasing within each row.
+func (c *cursor) validateCSR(n, rows, nnz int, indptr, idx []int) error {
+	r := c.r
+	prev := 0
+	for i, v := range indptr {
+		if (i == 0 && v != 0) || v < prev || v > nnz {
+			return fmt.Errorf("store: %s: chunk %d: corrupt row index at %d", r.path, n, i)
+		}
+		prev = v
+	}
+	if prev != nnz {
+		return fmt.Errorf("store: %s: chunk %d: row index does not cover %d non-zeros", r.path, n, nnz)
+	}
+	for row := 0; row < rows; row++ {
+		p := -1
+		for k := indptr[row]; k < indptr[row+1]; k++ {
+			v := idx[k]
+			if v <= p || v >= r.hdr.dim {
+				return fmt.Errorf("store: %s: chunk %d: row %d columns out of range or not strictly increasing", r.path, n, row)
+			}
+			p = v
+		}
+	}
+	return nil
+}
+
+// load makes chunk n current.
+func (c *cursor) load(n int) error {
+	if c.cur == n {
+		return nil
+	}
+	r := c.r
+	if r.mm != nil {
+		return c.loadMapped(n)
+	}
+	return c.loadArena(n)
+}
+
+// loadMapped serves chunk n as slices into the file mapping. The CRC
+// and CSR invariants are checked on this cursor's first visit; later
+// visits are pure slice arithmetic.
+func (c *cursor) loadMapped(n int) error {
+	r := c.r
+	off := r.offsets[n]
+	hbuf := r.mm[off : off+chunkHeaderSize]
+	rows, nnz, plen, crc, err := c.chunkGeom(n, hbuf)
+	if err != nil {
+		return err
+	}
+	p := r.mm[off+chunkHeaderSize : off+chunkHeaderSize+int64(plen)]
+	valB := p[:8*nnz]
+	yB := p[8*nnz : 8*(nnz+rows)]
+	indptrB := p[8*(nnz+rows) : 8*(nnz+rows+rows+1)]
+	idxB := p[8*(nnz+rows+rows+1):]
+	indptr, idx := asInt(indptrB), asInt(idxB)
+	if !c.verified[n] {
+		if got := crc32.ChecksumIEEE(p); got != crc {
+			return fmt.Errorf("store: %s: chunk %d checksum mismatch (%08x != %08x)", r.path, n, got, crc)
+		}
+		if err := c.validateCSR(n, rows, nnz, indptr, idx); err != nil {
+			return err
+		}
+		c.verified[n] = true
+	}
+	c.indptr, c.idx, c.val = indptr, idx, asF64(valB)
+	if r.hdr.flags&FlagLabels01 != 0 {
+		// The mapping is read-only, so remapped labels need the one
+		// copied section: rows (not nnz) elements, reused across loads.
+		if cap(c.yArena) < rows {
+			c.yArena = make([]float64, rows)
+		}
+		c.yArena = c.yArena[:rows]
+		for i, v := range asF64(yB) {
+			c.yArena[i] = 2*v - 1
+		}
+		c.y = c.yArena
+	} else {
+		c.y = asF64(yB)
+	}
+	c.cur = n
+	c.lo = n * r.hdr.chunkRows
+	c.hi = c.lo + rows
+	return nil
+}
+
+// loadArena is the portable fallback: pread chunk n and decode it into
+// the cursor's reused arenas, validating CRC and invariants on every
+// load.
+func (c *cursor) loadArena(n int) error {
+	r := c.r
+	var hbuf [chunkHeaderSize]byte
+	if _, err := r.f.ReadAt(hbuf[:], r.offsets[n]); err != nil {
+		return fmt.Errorf("store: %s: chunk %d: %w", r.path, n, err)
+	}
+	rows, nnz, plen, crc, err := c.chunkGeom(n, hbuf[:])
+	if err != nil {
+		return err
+	}
+	if cap(c.raw) < plen {
+		c.raw = make([]byte, plen)
+	}
+	p := c.raw[:plen]
+	if _, err := r.f.ReadAt(p, r.offsets[n]+chunkHeaderSize); err != nil {
+		return fmt.Errorf("store: %s: chunk %d: %w", r.path, n, err)
+	}
+	if got := crc32.ChecksumIEEE(p); got != crc {
+		return fmt.Errorf("store: %s: chunk %d checksum mismatch (%08x != %08x)", r.path, n, got, crc)
+	}
+
+	// Invalidate before decoding so a failed load can never be served.
+	c.cur = -1
+	c.lo, c.hi = 0, 0
+	if cap(c.val) < nnz {
+		c.val = make([]float64, nnz)
+	}
+	c.val = c.val[:nnz]
+	o := 0
+	for i := 0; i < nnz; i++ {
+		c.val[i] = getF64(p, o)
+		o += 8
+	}
+	if cap(c.y) < rows {
+		c.y = make([]float64, rows)
+	}
+	c.y = c.y[:rows]
+	remap := r.hdr.flags&FlagLabels01 != 0
+	for i := 0; i < rows; i++ {
+		yv := getF64(p, o)
+		if remap {
+			yv = 2*yv - 1
+		}
+		c.y[i] = yv
+		o += 8
+	}
+	if cap(c.indptr) < rows+1 {
+		c.indptr = make([]int, rows+1)
+	}
+	c.indptr = c.indptr[:rows+1]
+	for i := 0; i <= rows; i++ {
+		c.indptr[i] = int(binary.LittleEndian.Uint64(p[o : o+8]))
+		o += 8
+	}
+	if cap(c.idx) < nnz {
+		c.idx = make([]int, nnz)
+	}
+	c.idx = c.idx[:nnz]
+	for i := 0; i < nnz; i++ {
+		c.idx[i] = int(binary.LittleEndian.Uint64(p[o : o+8]))
+		o += 8
+	}
+	if err := c.validateCSR(n, rows, nnz, c.indptr, c.idx); err != nil {
+		return err
+	}
+	c.cur = n
+	c.lo = n * r.hdr.chunkRows
+	c.hi = c.lo + rows
+	return nil
+}
+
+// locate maps global row i to its row-in-chunk. The fast path — row
+// inside the loaded chunk — is two compares and a subtraction, so
+// sequential scans pay no per-row arithmetic beyond them; chunk
+// switches go through locateSlow.
+func (c *cursor) locate(i int) int {
+	if i >= c.lo && i < c.hi {
+		return i - c.lo
+	}
+	return c.locateSlow(i)
+}
+
+func (c *cursor) locateSlow(i int) int {
+	r := c.r
+	if i < 0 || i >= r.hdr.rows {
+		panic(fmt.Sprintf("store: row %d out of range [0,%d)", i, r.hdr.rows))
+	}
+	if err := c.load(i / r.hdr.chunkRows); err != nil {
+		panic(err)
+	}
+	return i - c.lo
+}
+
+func (c *cursor) atSparse(i int) (*vec.Sparse, float64) {
+	j := c.locate(i)
+	lo, hi := c.indptr[j], c.indptr[j+1]
+	c.row.Idx = c.idx[lo:hi]
+	c.row.Val = c.val[lo:hi]
+	return &c.row, c.y[j]
+}
+
+func (c *cursor) at(i int) ([]float64, float64) {
+	j := c.locate(i)
+	if c.scratch == nil {
+		c.scratch = make([]float64, c.r.hdr.dim)
+	}
+	for k := range c.scratch {
+		c.scratch[k] = 0
+	}
+	for k := c.indptr[j]; k < c.indptr[j+1]; k++ {
+		c.scratch[c.idx[k]] = c.val[k]
+	}
+	return c.scratch, c.y[j]
+}
