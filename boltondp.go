@@ -51,6 +51,7 @@ import (
 	"boltondp/internal/bismarck"
 	"boltondp/internal/core"
 	"boltondp/internal/data"
+	"boltondp/internal/dist"
 	"boltondp/internal/dp"
 	"boltondp/internal/engine"
 	"boltondp/internal/eval"
@@ -413,6 +414,50 @@ func NewModelRegistry(dir string) (*ModelRegistry, error) { return serve.NewRegi
 // NewModelServer builds the HTTP prediction service over a registry;
 // mount NewModelServer(reg, opt).Handler() on any http server.
 func NewModelServer(reg *ModelRegistry, opt ServeOptions) *ModelServer { return serve.New(reg, opt) }
+
+// Distributed training (see DESIGN.md §8).
+
+type (
+	// DistCoordinator drives distributed sharded training over a pool
+	// of registered DistWorkers, bit-identical to the in-process
+	// Sharded strategy under the same seed.
+	DistCoordinator = dist.Coordinator
+	// DistCoordinatorConfig tunes the coordinator's HTTP behavior and
+	// failure policy (retries, backoff, per-call deadlines).
+	DistCoordinatorConfig = dist.CoordinatorConfig
+	// DistWorker executes shard assignments; mount its Handler() on any
+	// http server (or run cmd/dpworker).
+	DistWorker = dist.Worker
+	// DistSource is the coordinator-side training-set description a
+	// distributed run partitions: NewDistStoreSource for on-disk store
+	// files (workers open the same path and verify chunk CRCs),
+	// NewDistInlineSource for in-memory samples shipped inline.
+	DistSource = dist.Source
+)
+
+// NewDistCoordinator returns a coordinator with no registered workers;
+// call Register with each worker's base URL before training.
+func NewDistCoordinator(cfg DistCoordinatorConfig) *DistCoordinator { return dist.NewCoordinator(cfg) }
+
+// NewDistWorker returns an empty distributed-training worker.
+func NewDistWorker() *DistWorker { return dist.NewWorker() }
+
+// NewDistStoreSource describes a store-file training set for
+// distributed runs. Workers must be able to open the same path.
+func NewDistStoreSource(r *StoreReader) DistSource { return dist.NewStoreSource(r) }
+
+// NewDistInlineSource describes an in-memory training set whose shards
+// are shipped to workers inline over the wire.
+func NewDistInlineSource(s Samples) DistSource { return dist.NewInlineSource(s) }
+
+// TrainDistributed is TrainCtx on a coordinator/worker pool: the same
+// functional options (WithStrategy(StrategySharded, P) selects the
+// shard count), the same calibration, and — by the parity contract
+// pinned in internal/dist — the same bits in the released model and the
+// accountant ledger as the single-process run under the same seed.
+func TrainDistributed(ctx context.Context, coord *DistCoordinator, src DistSource, f LossFunction, opts ...TrainOption) (*TrainResult, error) {
+	return core.TrainDistributed(ctx, coord, src, f, opts...)
+}
 
 // Tuning.
 

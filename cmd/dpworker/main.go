@@ -1,0 +1,42 @@
+// Command dpworker runs one training worker of the distributed
+// sharded trainer: it serves shard-install and epoch requests from a
+// dpcoord coordinator over HTTP and keeps no authoritative state — a
+// restarted worker re-derives everything from the next request.
+//
+// Usage:
+//
+//	dpworker -addr :8090
+//
+// Endpoints: POST /dist/shard (install a shard: an inline CSR payload
+// or a chunk range of an on-disk columnar store the worker opens
+// itself), POST /dist/epoch (run one epoch slice over the installed
+// shard and return the O(d) model), GET /dist/healthz. All training on
+// the worker is noiseless — privacy noise is added exactly once, by
+// the coordinator's caller, above this process. SIGINT/SIGTERM shuts
+// the worker down gracefully and closes any open store readers. See
+// internal/dist and DESIGN.md §8.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"boltondp/internal/cli"
+)
+
+func main() {
+	cfg, err := cli.ParseDPWorker(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpworker: %v\n", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := cli.RunDPWorkerCtx(ctx, cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dpworker: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -222,6 +222,32 @@ func (l *Ledger) Spent() dp.Budget {
 	return dp.Budget{Epsilon: l.SpentEpsilon, Delta: l.SpentDelta}
 }
 
+// Same reports whether two ledgers record the same privacy spends:
+// equal totals, equal cumulative spend, and entry-for-entry equal
+// reservations (label, ε, δ — grant timestamps are execution detail,
+// not part of the privacy statement). It is the equality the
+// distributed-training parity contract pins: a coordinator/worker run
+// must produce a ledger Same as its single-process counterpart's, so
+// distributing a run can never change what was spent or what the spend
+// paid for.
+func (l *Ledger) Same(o *Ledger) bool {
+	if l == nil || o == nil {
+		return l == o
+	}
+	if l.TotalEpsilon != o.TotalEpsilon || l.TotalDelta != o.TotalDelta ||
+		l.SpentEpsilon != o.SpentEpsilon || l.SpentDelta != o.SpentDelta ||
+		len(l.Entries) != len(o.Entries) {
+		return false
+	}
+	for i := range l.Entries {
+		a, b := l.Entries[i], o.Entries[i]
+		if a.Label != b.Label || a.Epsilon != b.Epsilon || a.Delta != b.Delta {
+			return false
+		}
+	}
+	return true
+}
+
 // Ledger snapshots the accountant's current state.
 func (a *Accountant) Ledger() *Ledger {
 	a.mu.Lock()

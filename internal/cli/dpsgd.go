@@ -1,6 +1,7 @@
-// Package cli implements the dpsgd and dpserve commands' logic as a
-// testable library: flag parsing, dataset selection, training and
-// serving dispatch and report formatting, with all I/O injected.
+// Package cli implements the dpsgd, dpserve, dpcoord and dpworker
+// commands' logic as a testable library: flag parsing, dataset
+// selection, training and serving dispatch and report formatting,
+// with all I/O injected.
 package cli
 
 import (

@@ -1,0 +1,88 @@
+package dist_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"boltondp/internal/data"
+	"boltondp/internal/dist"
+	"boltondp/internal/engine"
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+)
+
+// benchData is the fixed workload both Dist benchmarks train: large
+// enough that the per-epoch kernel work dominates a single HTTP round
+// trip, small enough for a CI smoke run.
+func benchData() *data.Dataset {
+	return data.Synthetic(rand.New(rand.NewSource(17)),
+		data.GenConfig{M: 2000, D: 40, Classes: 2, Spread: 1.2})
+}
+
+const (
+	benchPasses = 2
+	benchBatch  = 10
+)
+
+// BenchmarkDistEpochs drives the full coordinator/worker epoch loop
+// over loopback HTTP at different shard counts: install + per-epoch
+// fan-out/average/redistribute, exactly the traffic a real deployment
+// pays per epoch (JSON framing, base64 vectors, CRC checks).
+func BenchmarkDistEpochs(b *testing.B) {
+	ds := benchData()
+	src := dist.NewInlineSource(ds)
+	f := loss.NewLogistic(1e-2, 0)
+	spec := dist.TrainSpec{
+		Loss:    mustLossSpec(b, f),
+		Step:    dist.StepSpec{Kind: dist.StepConstant, Eta: 0.05},
+		Batch:   benchBatch,
+		Radius:  100,
+		Average: true,
+	}
+	for _, P := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("P%d", P), func(b *testing.B) {
+			pool := newPool(b, P)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A fixed job ID reuses the installed shard state; the
+				// reinstall each Train issues is part of the measured
+				// protocol cost.
+				if _, err := pool.coord.Train(context.Background(), src, dist.Job{
+					ID: "bench", Spec: spec, Shards: P, Passes: benchPasses,
+				}, rand.New(rand.NewSource(7))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ds.Len()), "rows")
+		})
+	}
+}
+
+// BenchmarkDistBaseline is the single-process Sharded(P) run the
+// distributed loop is pinned bit-identical to. The ratio
+// DistEpochs/DistBaseline at equal P is the pure wire overhead —
+// EXPERIMENTS.md tracks it.
+func BenchmarkDistBaseline(b *testing.B) {
+	ds := benchData()
+	f := loss.NewLogistic(1e-2, 0)
+	for _, P := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("P%d", P), func(b *testing.B) {
+			b.ReportMetric(float64(ds.Len()), "rows")
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(ds, engine.Config{
+					Strategy: engine.Sharded, Workers: P,
+					SGD: sgd.Config{
+						Loss: f, Step: sgd.Constant(0.05),
+						Passes: benchPasses, Batch: benchBatch,
+						Radius: 100, Average: true,
+						Rand: rand.New(rand.NewSource(7)),
+					},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

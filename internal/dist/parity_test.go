@@ -1,0 +1,268 @@
+package dist_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"boltondp/internal/account"
+	"boltondp/internal/core"
+	"boltondp/internal/data"
+	"boltondp/internal/dist"
+	"boltondp/internal/dp"
+	"boltondp/internal/engine"
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+	"boltondp/internal/store"
+)
+
+// bitsEqual pins bit-for-bit identity — the parity contract is exact,
+// not approximate.
+func bitsEqual(t *testing.T, tag string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: dim %d != %d", tag, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: w[%d] = %x, want %x — distributed run diverged from single-process Sharded", tag, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// pool is a loopback coordinator/worker deployment: n in-process
+// workers behind httptest servers, registered with one coordinator.
+type pool struct {
+	coord   *dist.Coordinator
+	workers []*dist.Worker
+	urls    []string
+}
+
+func newPool(t testing.TB, n int) *pool {
+	t.Helper()
+	p := &pool{coord: dist.NewCoordinator(dist.CoordinatorConfig{
+		Retries: 1, Backoff: time.Millisecond,
+	})}
+	p.addWorkers(t, n, nil)
+	return p
+}
+
+// addWorkers spins up n workers (optionally behind a middleware wrapper
+// — the fault-injection hook) and registers them.
+func (p *pool) addWorkers(t testing.TB, n int, wrap func(i int, h http.Handler) http.Handler) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		wk := dist.NewWorker()
+		h := http.Handler(wk.Handler())
+		if wrap != nil {
+			h = wrap(len(p.workers), h)
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { wk.Close() })
+		if err := p.coord.Register(context.Background(), ts.URL); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		p.workers = append(p.workers, wk)
+		p.urls = append(p.urls, ts.URL)
+	}
+}
+
+// sources builds the two coordinator-side views of the same synthetic
+// dataset — in-memory dense and store-backed — plus the samples the
+// single-process baseline trains on for each.
+func sources(t *testing.T) map[string]struct {
+	src      dist.Source
+	baseline sgd.Samples
+} {
+	t.Helper()
+	r := rand.New(rand.NewSource(99))
+	sparse := data.SparseSynthetic(r, 240, 30, 6, 0.1)
+	dense := data.Synthetic(rand.New(rand.NewSource(98)), data.GenConfig{M: 240, D: 30, Classes: 2, Spread: 1.5})
+	path := filepath.Join(t.TempDir(), "parity.bolt")
+	if err := store.Write(path, sparse, store.Options{ChunkRows: 64}); err != nil {
+		t.Fatalf("store.Write: %v", err)
+	}
+	rd, err := store.Open(path)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { rd.Close() })
+	return map[string]struct {
+		src      dist.Source
+		baseline sgd.Samples
+	}{
+		"inmemory": {src: dist.NewInlineSource(dense), baseline: dense},
+		"store":    {src: dist.NewStoreSource(rd), baseline: rd},
+	}
+}
+
+// TestDistParitySharded is the headline acceptance test: a
+// 1-coordinator + P-worker loopback run is bit-identical to the
+// single-process Sharded(P) run under a fixed seed — P ∈ {1, 2, 4},
+// noiseless and private, in-memory and store-backed, models and (for
+// the private case) accountant ledgers compared bit for bit.
+func TestDistParitySharded(t *testing.T) {
+	srcs := sources(t)
+	f := loss.NewLogistic(1e-2, 0)
+	p := f.Params()
+
+	for name, sc := range srcs {
+		for _, P := range []int{1, 2, 4} {
+			sc, P := sc, P
+			t.Run(fmt.Sprintf("%s/P%d", name, P), func(t *testing.T) {
+				t.Run("noiseless", func(t *testing.T) {
+					pool := newPool(t, 2)
+					m := sc.src.Rows()
+					n := engine.MinShard(m, P)
+					spec := dist.TrainSpec{
+						Loss:    mustLossSpec(t, f),
+						Step:    dist.StepSpec{Kind: dist.StepSqrt, Beta: p.Beta, M: n, C: 0.5},
+						Batch:   8,
+						Radius:  50,
+						Average: true,
+					}
+					step := sgd.SqrtConvex(p.Beta, n, 0.5)
+
+					want, err := engine.Run(sc.baseline, engine.Config{
+						Strategy: engine.Sharded, Workers: P,
+						SGD: sgd.Config{
+							Loss: f, Step: step, Passes: 3, Batch: 8,
+							Radius: 50, Average: true,
+							Rand: rand.New(rand.NewSource(7)),
+						},
+					})
+					if err != nil {
+						t.Fatalf("engine.Run: %v", err)
+					}
+					got, err := pool.coord.Train(context.Background(), sc.src, dist.Job{
+						ID: "parity", Spec: spec, Shards: P, Passes: 3,
+					}, rand.New(rand.NewSource(7)))
+					if err != nil {
+						t.Fatalf("coord.Train: %v", err)
+					}
+					bitsEqual(t, "W", got.W, want.W)
+					bitsEqual(t, "WAvg", got.WAvg, want.WAvg)
+					if got.Updates != want.Updates || got.Passes != want.Passes {
+						t.Fatalf("updates/passes %d/%d, want %d/%d", got.Updates, got.Passes, want.Updates, want.Passes)
+					}
+					if len(got.ShardModels) != P {
+						t.Fatalf("ShardModels holds %d shards, want %d", len(got.ShardModels), P)
+					}
+				})
+
+				t.Run("private", func(t *testing.T) {
+					pool := newPool(t, 2)
+					budget := dp.Budget{Epsilon: 0.5}
+
+					wantAcct := account.MustNew(dp.Budget{Epsilon: 2})
+					want, err := core.TrainCtx(context.Background(), sc.baseline, f,
+						core.WithStrategy(engine.Sharded, P),
+						core.WithBudget(budget), core.WithAccountant(wantAcct),
+						core.WithPasses(3), core.WithBatch(8), core.WithRadius(1/1e-2),
+						core.WithRand(rand.New(rand.NewSource(11))))
+					if err != nil {
+						t.Fatalf("core.TrainCtx: %v", err)
+					}
+
+					gotAcct := account.MustNew(dp.Budget{Epsilon: 2})
+					got, err := core.TrainDistributed(context.Background(), pool.coord, sc.src, f,
+						core.WithStrategy(engine.Sharded, P),
+						core.WithBudget(budget), core.WithAccountant(gotAcct),
+						core.WithPasses(3), core.WithBatch(8), core.WithRadius(1/1e-2),
+						core.WithRand(rand.New(rand.NewSource(11))))
+					if err != nil {
+						t.Fatalf("core.TrainDistributed: %v", err)
+					}
+
+					bitsEqual(t, "W (private)", got.W, want.W)
+					bitsEqual(t, "NonPrivate", got.NonPrivate, want.NonPrivate)
+					if math.Float64bits(got.Sensitivity) != math.Float64bits(want.Sensitivity) {
+						t.Fatalf("Sensitivity %v != %v", got.Sensitivity, want.Sensitivity)
+					}
+					if math.Float64bits(got.NoiseNorm) != math.Float64bits(want.NoiseNorm) {
+						t.Fatalf("NoiseNorm %v != %v", got.NoiseNorm, want.NoiseNorm)
+					}
+					if !gotAcct.Ledger().Same(wantAcct.Ledger()) {
+						t.Fatalf("ledgers differ:\n got %+v\nwant %+v", gotAcct.Ledger(), wantAcct.Ledger())
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestDistParityAveragedPrivate covers the iterate-averaged private
+// release (the model the paper's convergence results are stated for):
+// the averaged distributed model, perturbed, must still match bitwise.
+func TestDistParityAveragedPrivate(t *testing.T) {
+	srcs := sources(t)
+	sc := srcs["store"]
+	f := loss.NewLogistic(1e-2, 0)
+	base := core.Options{
+		Budget: dp.Budget{Epsilon: 1, Delta: 1e-6},
+		Passes: 2, Batch: 4, Radius: 100, Average: true,
+		Strategy: engine.Sharded, Workers: 2,
+	}
+
+	pool := newPool(t, 2)
+	wantOpts := base
+	wantOpts.Rand = rand.New(rand.NewSource(5))
+	want, err := core.Train(sc.baseline, f, wantOpts)
+	if err != nil {
+		t.Fatalf("core.Train: %v", err)
+	}
+	got, err := core.TrainDistributed(context.Background(), pool.coord, sc.src, f,
+		core.WithOptions(base), core.WithRand(rand.New(rand.NewSource(5))))
+	if err != nil {
+		t.Fatalf("core.TrainDistributed: %v", err)
+	}
+	bitsEqual(t, "W (averaged, (ε,δ))", got.W, want.W)
+	bitsEqual(t, "NonPrivate", got.NonPrivate, want.NonPrivate)
+}
+
+// TestTrainDistributedRejections pins the option surface: parameters
+// whose semantics need the whole dataset mid-run (or change the
+// randomness schedule) are refused up front, not silently dropped.
+func TestTrainDistributedRejections(t *testing.T) {
+	pool := newPool(t, 1)
+	ds := data.Synthetic(rand.New(rand.NewSource(3)), data.GenConfig{M: 40, D: 5, Classes: 2, Spread: 1})
+	src := dist.NewInlineSource(ds)
+	f := loss.NewLogistic(1e-2, 0)
+	base := []core.Option{
+		core.WithBudget(dp.Budget{Epsilon: 1}),
+		core.WithRand(rand.New(rand.NewSource(1))),
+	}
+	cases := map[string]core.Option{
+		"tol":         core.WithTol(1e-3),
+		"progress":    core.WithProgress(func(int, float64) {}),
+		"averagetail": core.WithOptions(core.Options{Budget: dp.Budget{Epsilon: 1}, AverageTail: true}),
+		"freshperm":   core.WithOptions(core.Options{Budget: dp.Budget{Epsilon: 1}, FreshPerm: true}),
+	}
+	for name, opt := range cases {
+		t.Run(name, func(t *testing.T) {
+			opts := append(append([]core.Option{}, base...), opt)
+			if name == "averagetail" || name == "freshperm" {
+				opts = append(opts, core.WithRand(rand.New(rand.NewSource(1))))
+			}
+			if _, err := core.TrainDistributed(context.Background(), pool.coord, src, f, opts...); err == nil {
+				t.Fatalf("%s accepted; want rejection", name)
+			}
+		})
+	}
+}
+
+func mustLossSpec(t testing.TB, f loss.Function) dist.LossSpec {
+	t.Helper()
+	s, err := dist.LossSpecFor(f)
+	if err != nil {
+		t.Fatalf("LossSpecFor: %v", err)
+	}
+	return s
+}

@@ -188,6 +188,49 @@ func runStreaming(s sgd.Samples, c sgd.Config) (*Result, error) {
 	return runSequential(s, c)
 }
 
+// Plan is the shard layout of a Sharded(P) run over m rows: the single
+// authority both the in-process sharded executor and the distributed
+// coordinator (internal/dist) partition by, so the two always cut the
+// same rows into the same shards — a precondition for their bit-for-bit
+// parity. Build one with PlanShards.
+type Plan struct {
+	// Rows is the total row count m the plan covers.
+	Rows int
+	// Workers is the shard count P.
+	Workers int
+	// Bounds are the per-shard [lo, hi) global row ranges, in shard
+	// order (ShardBounds' layout: contiguous, nearly equal, remainder
+	// merged into the last shard).
+	Bounds [][2]int
+	// MinShard is the smallest shard size — the size schedules and
+	// per-shard sensitivities must be evaluated at (the smallest shard
+	// yields the largest bound).
+	MinShard int
+}
+
+// PlanShards resolves the shard layout for m rows across workers
+// shards, or an error when the worker count cannot be satisfied. It is
+// the error-returning entry point callers resolving user input go
+// through; ShardBounds/MinShard remain as the panicking forms for
+// already-validated counts.
+func PlanShards(m, workers int) (*Plan, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("engine: %d workers", workers)
+	}
+	if m < 1 {
+		return nil, errors.New("engine: empty training set")
+	}
+	if workers > m {
+		return nil, fmt.Errorf("engine: %d workers for %d rows", workers, m)
+	}
+	return &Plan{
+		Rows:     m,
+		Workers:  workers,
+		Bounds:   ShardBounds(m, workers),
+		MinShard: MinShard(m, workers),
+	}, nil
+}
+
 // ShardBounds returns the [lo, hi) row ranges of the workers shards:
 // contiguous, nearly equal, with the remainder merged into the last
 // shard — the same policy bismarck.(*Table).Partitions has always used,
@@ -308,12 +351,9 @@ func runSharded(s sgd.Samples, cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	m := s.Len()
-	if m == 0 {
-		return nil, errors.New("engine: empty training set")
-	}
-	if cfg.Workers > m {
-		return nil, fmt.Errorf("engine: %d workers for %d rows", cfg.Workers, m)
+	plan, err := PlanShards(s.Len(), cfg.Workers)
+	if err != nil {
+		return nil, err
 	}
 	if c.Passes < 1 {
 		return nil, fmt.Errorf("engine: Passes must be >= 1, got %d", c.Passes)
@@ -338,9 +378,8 @@ func runSharded(s sgd.Samples, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("engine: W0 has dim %d, want %d", len(c.W0), d)
 	}
 
-	bounds := ShardBounds(m, cfg.Workers)
 	shards := make([]sgd.Samples, cfg.Workers)
-	for i, b := range bounds {
+	for i, b := range plan.Bounds {
 		shards[i] = shardView(s, b[0], b[1])
 	}
 

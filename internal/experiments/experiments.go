@@ -89,6 +89,7 @@ var Registry = map[string]Runner{
 	"fig8":      Fig8LargeDatasetsPublic,
 	"fig9":      Fig9LargeDatasetsPrivate,
 	"fig10":     Fig10BatchSweep,
+	"dist":      DistLoopback,
 	"scaling":   ScalingSharded,
 	"stream":    StreamingOnline,
 	"sparse":    SparseKernel,

@@ -22,7 +22,7 @@ func TestRegistryCoversDesignDoc(t *testing.T) {
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"ablation-steps", "ablation-averaging", "ablation-noise",
 		"ablation-freshperm",
-		"scaling", "stream", "sparse", "serve", "outofcore",
+		"scaling", "stream", "sparse", "serve", "outofcore", "dist",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
