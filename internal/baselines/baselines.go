@@ -57,6 +57,11 @@ type Options struct {
 	// Workers is the shard count for Noiseless under the Sharded
 	// strategy (default 1).
 	Workers int
+	// KernelWorkers is the intra-batch parallelism degree of the SGD
+	// kernel for Noiseless (sgd.Config.KernelWorkers; 0 or 1 =
+	// sequential). Bit-identical to sequential for every value, so the
+	// baseline stays like-for-like with private runs at any setting.
+	KernelWorkers int
 	// Rand is the randomness source (permutations, sampling, noise).
 	Rand *rand.Rand
 	// Ctx, when non-nil, makes the run cancellable: every baseline
@@ -139,7 +144,7 @@ func Noiseless(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 		Workers:  o.Workers,
 		SGD: sgd.Config{
 			Loss: f, Step: step, Passes: o.Passes, Batch: o.Batch,
-			Radius: o.Radius, Rand: o.Rand, Ctx: o.Ctx,
+			Radius: o.Radius, KernelWorkers: o.KernelWorkers, Rand: o.Rand, Ctx: o.Ctx,
 		},
 	})
 	if err != nil {

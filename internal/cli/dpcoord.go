@@ -25,24 +25,28 @@ import (
 
 // DPCoordConfig is the parsed command line of cmd/dpcoord.
 type DPCoordConfig struct {
-	Workers      []string // worker base URLs (-workers, comma-separated)
-	StorePath    string   // on-disk columnar store to train from (-store)
-	Sim          string
-	Scale        float64
-	LossName     string
-	Lambda       float64
-	HuberH       float64
-	Eps          float64
-	Delta        float64
-	Passes       int
-	Batch        int
-	Shards       int // 0 = one shard per worker
-	Seed         int64
-	Retries      int
-	EpochTimeout time.Duration
-	SavePath     string
-	Publish      string
-	Timeout      time.Duration
+	Workers   []string // worker base URLs (-workers, comma-separated)
+	StorePath string   // on-disk columnar store to train from (-store)
+	Sim       string
+	Scale     float64
+	LossName  string
+	Lambda    float64
+	HuberH    float64
+	Eps       float64
+	Delta     float64
+	Passes    int
+	Batch     int
+	Shards    int // 0 = one shard per worker
+	// KernelWorkers is the intra-batch parallelism degree each dist
+	// worker applies inside its shard (-kernel-workers; 1 =
+	// sequential). Bit-identical output for every value.
+	KernelWorkers int
+	Seed          int64
+	Retries       int
+	EpochTimeout  time.Duration
+	SavePath      string
+	Publish       string
+	Timeout       time.Duration
 }
 
 // ParseDPCoord parses and validates args (excluding argv[0]).
@@ -63,6 +67,7 @@ func ParseDPCoord(args []string, stderr io.Writer) (*DPCoordConfig, error) {
 	fs.IntVar(&cfg.Passes, "passes", 10, "passes over the data (k)")
 	fs.IntVar(&cfg.Batch, "batch", 50, "mini-batch size (b)")
 	fs.IntVar(&cfg.Shards, "shards", 0, "shard count P (0 = one per worker)")
+	fs.IntVar(&cfg.KernelWorkers, "kernel-workers", 1, "per-worker intra-batch SGD parallelism (bit-identical to 1 at any value)")
 	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	fs.IntVar(&cfg.Retries, "retries", 2, "same-worker retries per request before reassigning the shard")
 	fs.DurationVar(&cfg.EpochTimeout, "epoch-timeout", 0, "deadline per worker request, e.g. 30s (0 = no limit)")
@@ -88,6 +93,9 @@ func ParseDPCoord(args []string, stderr io.Writer) (*DPCoordConfig, error) {
 	}
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("cli: -shards must be >= 0, got %d", cfg.Shards)
+	}
+	if cfg.KernelWorkers < 1 {
+		return nil, fmt.Errorf("cli: -kernel-workers must be >= 1, got %d", cfg.KernelWorkers)
 	}
 	if cfg.Retries < 0 {
 		return nil, fmt.Errorf("cli: -retries must be >= 0, got %d", cfg.Retries)
@@ -209,6 +217,7 @@ func RunDPCoordCtx(ctx context.Context, cfg *DPCoordConfig, out io.Writer) error
 		core.WithAccountant(acct),
 		core.WithPasses(cfg.Passes), core.WithBatch(cfg.Batch), core.WithRadius(radius),
 		core.WithStrategy(engine.Sharded, shards),
+		core.WithKernelWorkers(cfg.KernelWorkers),
 		core.WithRand(r))
 	if err != nil {
 		return err

@@ -44,10 +44,14 @@ type DPSGDConfig struct {
 	Batch     int
 	Strategy  string
 	Workers   int
-	Seed      int64
-	SavePath  string
-	Publish   string
-	Timeout   time.Duration
+	// KernelWorkers is the intra-batch parallelism degree of the SGD
+	// kernel (-kernel-workers; 1 = sequential). Bit-identical output
+	// for every value, so it composes with any -strategy.
+	KernelWorkers int
+	Seed          int64
+	SavePath      string
+	Publish       string
+	Timeout       time.Duration
 }
 
 // ParseDPSGD parses args (excluding argv[0]) into a config.
@@ -70,6 +74,7 @@ func ParseDPSGD(args []string, stderr io.Writer) (*DPSGDConfig, error) {
 	fs.IntVar(&cfg.Batch, "batch", 50, "mini-batch size (b)")
 	fs.StringVar(&cfg.Strategy, "strategy", "sequential", "execution strategy: sequential|sharded|streaming (streaming needs -passes 1)")
 	fs.IntVar(&cfg.Workers, "workers", 1, "shard count for -strategy sharded")
+	fs.IntVar(&cfg.KernelWorkers, "kernel-workers", 1, "intra-batch SGD parallelism (bit-identical to 1 at any value)")
 	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	fs.StringVar(&cfg.SavePath, "save", "", "write the trained model (JSON) to this path")
 	fs.StringVar(&cfg.Publish, "publish", "", "publish the trained model into this registry directory (serve it with dpserve -models)")
@@ -79,6 +84,9 @@ func ParseDPSGD(args []string, stderr io.Writer) (*DPSGDConfig, error) {
 	}
 	if cfg.Timeout < 0 {
 		return nil, fmt.Errorf("cli: -timeout must be >= 0, got %v", cfg.Timeout)
+	}
+	if cfg.KernelWorkers < 1 {
+		return nil, fmt.Errorf("cli: -kernel-workers must be >= 1, got %d", cfg.KernelWorkers)
 	}
 	if cfg.ChunkRows < 0 {
 		return nil, fmt.Errorf("cli: -chunk must be >= 0, got %d", cfg.ChunkRows)
@@ -244,6 +252,7 @@ func RunDPSGDCtx(ctx context.Context, cfg *DPSGDConfig, out io.Writer) error {
 			core.WithAccountant(acct),
 			core.WithPasses(passes), core.WithBatch(cfg.Batch), core.WithRadius(radius),
 			core.WithStrategy(strategy, cfg.Workers),
+			core.WithKernelWorkers(cfg.KernelWorkers),
 			core.WithRand(r))
 		if err != nil {
 			return err
@@ -254,7 +263,8 @@ func RunDPSGDCtx(ctx context.Context, cfg *DPSGDConfig, out io.Writer) error {
 	case "noiseless":
 		res, err := baselines.Noiseless(train, f, baselines.Options{
 			Passes: passes, Batch: cfg.Batch, Radius: radius,
-			Strategy: strategy, Workers: cfg.Workers, Rand: r, Ctx: ctx,
+			Strategy: strategy, Workers: cfg.Workers,
+			KernelWorkers: cfg.KernelWorkers, Rand: r, Ctx: ctx,
 		})
 		if err != nil {
 			return err

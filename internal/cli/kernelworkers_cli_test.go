@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+// The -kernel-workers flag (dpsgd and dpcoord) selects the
+// deterministic intra-batch parallelism degree: default 1 — so every
+// existing CLI golden stays byte-stable — any positive value accepted,
+// zero and negatives rejected at parse time.
+func TestParseKernelWorkersTable(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		args    []string
+		want    int
+		wantErr bool
+	}{
+		{name: "default is sequential", args: nil, want: 1},
+		{name: "explicit one", args: []string{"-kernel-workers", "1"}, want: 1},
+		{name: "four", args: []string{"-kernel-workers", "4"}, want: 4},
+		{name: "zero rejected", args: []string{"-kernel-workers", "0"}, wantErr: true},
+		{name: "negative rejected", args: []string{"-kernel-workers", "-2"}, wantErr: true},
+		{name: "garbage rejected", args: []string{"-kernel-workers", "many"}, wantErr: true},
+	} {
+		t.Run(fmt.Sprintf("dpsgd/%s", tc.name), func(t *testing.T) {
+			cfg, err := ParseDPSGD(tc.args, io.Discard)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParseDPSGD(%v) accepted", tc.args)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.KernelWorkers != tc.want {
+				t.Errorf("KernelWorkers = %d, want %d", cfg.KernelWorkers, tc.want)
+			}
+		})
+		t.Run(fmt.Sprintf("dpcoord/%s", tc.name), func(t *testing.T) {
+			args := append([]string{"-workers", "http://localhost:1"}, tc.args...)
+			cfg, err := ParseDPCoord(args, io.Discard)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParseDPCoord(%v) accepted", args)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.KernelWorkers != tc.want {
+				t.Errorf("KernelWorkers = %d, want %d", cfg.KernelWorkers, tc.want)
+			}
+		})
+	}
+}

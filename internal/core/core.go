@@ -133,6 +133,14 @@ type Options struct {
 	// with any other strategy is an error.
 	Workers int
 
+	// KernelWorkers is the intra-batch parallelism degree of the SGD
+	// kernel (sgd.Config.KernelWorkers; 0 or 1 = sequential). Unlike
+	// Workers it changes neither the execution strategy nor the
+	// sensitivity calculus: the parallel kernel is bit-identical to the
+	// sequential one for every value, so no noise recalibration exists
+	// or is needed. Valid under every strategy.
+	KernelWorkers int
+
 	// Rand is the randomness source for the permutation(s), the worker
 	// seeds and the noise.
 	Rand *rand.Rand
@@ -193,6 +201,9 @@ func (o *Options) validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("core: negative Workers (%d)", o.Workers)
+	}
+	if o.KernelWorkers < 0 {
+		return fmt.Errorf("core: negative KernelWorkers (%d)", o.KernelWorkers)
 	}
 	if o.Workers > 1 && o.Strategy != engine.Sharded {
 		return fmt.Errorf("core: Workers=%d requires the Sharded strategy, got %v", o.Workers, o.Strategy)
@@ -351,17 +362,18 @@ func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, er
 		Strategy: o.Strategy,
 		Workers:  o.Workers,
 		SGD: sgd.Config{
-			Loss:        f,
-			Step:        step,
-			Passes:      o.Passes,
-			Batch:       o.Batch,
-			Radius:      o.Radius,
-			Average:     o.Average,
-			AverageTail: o.AverageTail,
-			FreshPerm:   o.FreshPerm,
-			Rand:        o.Rand,
-			Ctx:         o.Ctx,
-			Progress:    o.Progress,
+			Loss:          f,
+			Step:          step,
+			Passes:        o.Passes,
+			Batch:         o.Batch,
+			Radius:        o.Radius,
+			Average:       o.Average,
+			AverageTail:   o.AverageTail,
+			FreshPerm:     o.FreshPerm,
+			KernelWorkers: o.KernelWorkers,
+			Rand:          o.Rand,
+			Ctx:           o.Ctx,
+			Progress:      o.Progress,
 		},
 	})
 	if err != nil {
@@ -415,18 +427,19 @@ func PrivateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Re
 		Strategy: o.Strategy,
 		Workers:  o.Workers,
 		SGD: sgd.Config{
-			Loss:        f,
-			Step:        sgd.StronglyConvexPaper(p.Beta, p.Gamma),
-			Passes:      o.Passes,
-			Batch:       o.Batch,
-			Radius:      o.Radius,
-			Average:     o.Average,
-			AverageTail: o.AverageTail,
-			FreshPerm:   o.FreshPerm,
-			Rand:        o.Rand,
-			Tol:         o.Tol,
-			Ctx:         o.Ctx,
-			Progress:    o.Progress,
+			Loss:          f,
+			Step:          sgd.StronglyConvexPaper(p.Beta, p.Gamma),
+			Passes:        o.Passes,
+			Batch:         o.Batch,
+			Radius:        o.Radius,
+			Average:       o.Average,
+			AverageTail:   o.AverageTail,
+			FreshPerm:     o.FreshPerm,
+			KernelWorkers: o.KernelWorkers,
+			Rand:          o.Rand,
+			Tol:           o.Tol,
+			Ctx:           o.Ctx,
+			Progress:      o.Progress,
 		},
 	})
 	if err != nil {

@@ -108,6 +108,7 @@ func TrainDistributed(ctx context.Context, coord *dist.Coordinator, src dist.Sou
 		Spec: dist.TrainSpec{
 			Loss: lossSpec, Step: stepSpec,
 			Batch: o.Batch, Radius: o.Radius, Average: o.Average,
+			KernelWorkers: o.KernelWorkers,
 		},
 		Shards: maxInt(o.Workers, 1),
 		Passes: o.Passes,

@@ -68,6 +68,15 @@ func WithStrategy(s engine.Strategy, workers int) Option {
 	return func(o *Options) { o.Strategy = s; o.Workers = workers }
 }
 
+// WithKernelWorkers sets the intra-batch parallelism degree of the SGD
+// kernel (0 or 1 = sequential). The parallel kernel is bit-identical
+// to the sequential one for every value, so — unlike WithStrategy's
+// worker count — it never changes the sensitivity calculus or the
+// result; it only changes how many goroutines compute it.
+func WithKernelWorkers(w int) Option {
+	return func(o *Options) { o.KernelWorkers = w }
+}
+
 // WithRand sets the randomness source for permutations, worker seeds
 // and the privacy noise. Required: the trainers refuse to run without
 // an explicit source, so seeds stay reproducible by construction.

@@ -309,6 +309,17 @@ func (s *inlineRows) At(i int) ([]float64, float64) {
 	return s.scratch, s.y[i]
 }
 
+// Shard implements engine.Sharder: At scatters into a reused scratch,
+// so concurrent readers — the intra-batch parallel kernel included —
+// need views with scratch of their own. indptr entries are absolute
+// offsets into idx/val, so a view only narrows indptr and y.
+func (s *inlineRows) Shard(lo, hi int) sgd.Samples {
+	if lo < 0 || hi < lo || hi > len(s.y) {
+		panic(fmt.Sprintf("dist: inline shard view [%d,%d) out of bounds for %d rows", lo, hi, len(s.y)))
+	}
+	return &inlineRows{dim: s.dim, indptr: s.indptr[lo : hi+1], idx: s.idx, val: s.val, y: s.y[lo:hi]}
+}
+
 // inlineSparseRows is the sparse-tier reconstruction — a separate type
 // so the sgd.SparseSamples assertion stays truthful about the tier the
 // coordinator's source presented.
@@ -322,4 +333,15 @@ func (s *inlineSparseRows) AtSparse(i int) (*vec.Sparse, float64) {
 	s.row.Idx = s.idx[lo:hi]
 	s.row.Val = s.val[lo:hi]
 	return &s.row, s.y[i]
+}
+
+// Shard implements engine.Sharder, preserving the sparse tier (the row
+// header is per-view state, so each view is independently readable).
+func (s *inlineSparseRows) Shard(lo, hi int) sgd.Samples {
+	if lo < 0 || hi < lo || hi > len(s.y) {
+		panic(fmt.Sprintf("dist: inline shard view [%d,%d) out of bounds for %d rows", lo, hi, len(s.y)))
+	}
+	return &inlineSparseRows{inlineRows: inlineRows{
+		dim: s.dim, indptr: s.indptr[lo : hi+1], idx: s.idx, val: s.val, y: s.y[lo:hi],
+	}}
 }

@@ -99,6 +99,9 @@ func (s *TrainSpec) validate() error {
 	if s.Batch < 1 {
 		return fmt.Errorf("dist: batch %d < 1", s.Batch)
 	}
+	if s.KernelWorkers < 0 {
+		return fmt.Errorf("dist: kernelWorkers %d < 0", s.KernelWorkers)
+	}
 	if _, err := s.Loss.Build(); err != nil {
 		return err
 	}

@@ -212,6 +212,17 @@ type TrainSpec struct {
 	Batch   int      `json:"batch"`
 	Radius  float64  `json:"radius,omitempty"`
 	Average bool     `json:"average,omitempty"`
+	// KernelWorkers is the intra-batch parallelism degree of the
+	// worker-side SGD kernel (sgd.Config.KernelWorkers; 0 or 1 =
+	// sequential). The parallel kernel is bit-identical to the
+	// sequential one, so the field affects worker CPU use only, never
+	// the trained bytes — which is why it can ride inside protocol
+	// version 1 as an additive omitempty field: a spec that leaves it
+	// unset encodes exactly as before (all golden fixtures are
+	// byte-stable), and an old worker handed a non-zero value fails
+	// loudly through its DisallowUnknownFields decoder instead of
+	// silently training something different.
+	KernelWorkers int `json:"kernelWorkers,omitempty"`
 }
 
 // ShardRequest installs one shard assignment on a worker. Re-sending

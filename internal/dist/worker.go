@@ -235,13 +235,14 @@ func (wk *Worker) handleEpoch(w http.ResponseWriter, r *http.Request) {
 //     first.
 func (st *shardState) runEpoch(req *EpochRequest, w0 []float64) (*sgd.Result, error) {
 	cfg := sgd.Config{
-		Loss:    st.lossFn,
-		Step:    st.step,
-		Batch:   st.spec.Batch,
-		Radius:  st.spec.Radius,
-		Average: st.spec.Average,
-		W0:      w0,
-		T0:      req.T0,
+		Loss:          st.lossFn,
+		Step:          st.step,
+		Batch:         st.spec.Batch,
+		Radius:        st.spec.Radius,
+		Average:       st.spec.Average,
+		KernelWorkers: st.spec.KernelWorkers,
+		W0:            w0,
+		T0:            req.T0,
 	}
 	if st.perm != nil {
 		if req.Epoch != 0 {

@@ -105,8 +105,12 @@ func ParseStrategy(name string) (Strategy, error) {
 // buffer): Shard must return an independent read-only view of rows
 // [lo, hi) with its own scratch. bismarck.Table and data.Stream
 // implement it. Sources without the method are wrapped in a plain
-// range view and must tolerate concurrent At calls from different
-// goroutines, as data.Dataset and sgd.SliceSamples do.
+// range view and must tolerate concurrent At (and, for sparse
+// sources, AtSparse) calls from different goroutines, as data.Dataset
+// and sgd.SliceSamples do. The same contract serves the intra-batch
+// parallel kernel (sgd.Config.KernelWorkers): it takes full-range
+// Shard views for its workers when the method exists and shares the
+// source otherwise.
 type Sharder interface {
 	Shard(lo, hi int) sgd.Samples
 }
@@ -427,16 +431,17 @@ func runSharded(s sgd.Samples, cfg Config) (*Result, error) {
 			go func(i int) {
 				defer wg.Done()
 				res, err := sgd.Run(shards[i], sgd.Config{
-					Loss:    c.Loss,
-					Step:    c.Step,
-					Passes:  1,
-					Batch:   c.Batch,
-					Radius:  c.Radius,
-					Average: c.Average,
-					Rand:    rngs[i],
-					W0:      w,
-					T0:      offsets[i],
-					Ctx:     c.Ctx,
+					Loss:          c.Loss,
+					Step:          c.Step,
+					Passes:        1,
+					Batch:         c.Batch,
+					Radius:        c.Radius,
+					Average:       c.Average,
+					KernelWorkers: c.KernelWorkers,
+					Rand:          rngs[i],
+					W0:            w,
+					T0:            offsets[i],
+					Ctx:           c.Ctx,
 					// Progress stays with the merge loop below: the hook
 					// contract is one call per epoch on the merged model,
 					// not one per shard.

@@ -95,6 +95,8 @@ var Registry = map[string]Runner{
 	"sparse":    SparseKernel,
 	"serve":     ServeThroughput,
 	"outofcore": OutOfCore,
+	"kernelpar": KernelParallel,
+	"storev2":   StoreV2,
 }
 
 // IDs returns the registered experiment IDs in sorted order.

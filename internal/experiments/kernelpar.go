@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"boltondp/internal/data"
+	"boltondp/internal/engine"
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+	"boltondp/internal/store"
+)
+
+// KernelParallel measures the deterministic intra-batch parallel SGD
+// kernel (PR 7 tentpole, DESIGN.md §9) across its three governing axes:
+// worker count W, mini-batch size b, and data density (dense rows take
+// the two-phase gradient/reduce kernel, sparse rows the Deriv fan-out).
+// Every cell runs the same seeded epoch at W and at W=1 and reports the
+// wall-clock speedup; the models are checked bit-identical per cell —
+// the determinism contract that separates this kernel from Hogwild —
+// so, as in OutOfCore, the table measures cost only.
+//
+// Batch 1 rows show 1.00x by construction: below the kernel's minimum
+// batch the parallel path declines to engage and the sequential kernel
+// runs untouched.
+func KernelParallel(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(cfg.Out, "== Parallel kernel: epoch speedup vs sequential, W × batch × density ==")
+
+	lambda := compLambda(1e-2, cfg.Scale)
+	f := loss.NewLogistic(lambda, 0)
+	m := scaled(20000, cfg.Scale, 1000)
+
+	type workload struct {
+		name string
+		s    sgd.Samples
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	const dim = 400
+	dense := &sgd.SliceSamples{X: make([][]float64, m), Y: make([]float64, m)}
+	for i := 0; i < m; i++ {
+		x := make([]float64, dim)
+		n := 0.0
+		for j := range x {
+			x[j] = r.NormFloat64()
+			n += x[j] * x[j]
+		}
+		n = math.Sqrt(n)
+		for j := range x {
+			x[j] /= n
+		}
+		dense.X[i], dense.Y[i] = x, float64(1-2*(i%2))
+	}
+	loads := []workload{
+		{"dense d=400 100%", dense},
+		{"sparse d=2000 5%", data.SparseSynthetic(rand.New(rand.NewSource(cfg.Seed+1)), m, 2000, 100, 0.02)},
+	}
+	if !cfg.Quick {
+		loads = append(loads, workload{"sparse d=2000 1%", data.SparseSynthetic(rand.New(rand.NewSource(cfg.Seed+2)), m, 2000, 20, 0.02)})
+	}
+
+	batchGrid := []int{1, 10, 32}
+	if cfg.Quick {
+		batchGrid = []int{32}
+	}
+	wGrid := []int{2, 4}
+
+	epoch := func(s sgd.Samples, batch, workers int) ([]float64, time.Duration, error) {
+		start := time.Now()
+		res, err := engine.Run(s, engine.Config{
+			Strategy: engine.Sequential,
+			SGD: sgd.Config{
+				Loss: f, Step: sgd.InvSqrtT(1), Passes: 1, Batch: batch,
+				Radius: 1 / lambda, KernelWorkers: workers,
+				Rand: rand.New(rand.NewSource(cfg.Seed + 9)),
+			},
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.W, time.Since(start), nil
+	}
+
+	w := newTab(cfg)
+	fmt.Fprintln(w, "workload\tbatch\tW\tseq epoch\tpar epoch\tspeedup\tbit-identical")
+	for _, ld := range loads {
+		for _, batch := range batchGrid {
+			for _, workers := range wGrid {
+				// Warm once each, then best-of-2 alternating.
+				if _, _, err := epoch(ld.s, batch, 1); err != nil {
+					return err
+				}
+				if _, _, err := epoch(ld.s, batch, workers); err != nil {
+					return err
+				}
+				seq, par := time.Duration(math.MaxInt64), time.Duration(math.MaxInt64)
+				var wSeq, wPar []float64
+				for i := 0; i < 2; i++ {
+					model, d, err := epoch(ld.s, batch, 1)
+					if err != nil {
+						return err
+					}
+					if d < seq {
+						seq = d
+					}
+					wSeq = model
+					if model, d, err = epoch(ld.s, batch, workers); err != nil {
+						return err
+					}
+					if d < par {
+						par = d
+					}
+					wPar = model
+				}
+				identical := len(wSeq) == len(wPar)
+				for i := range wSeq {
+					identical = identical && math.Float64bits(wSeq[i]) == math.Float64bits(wPar[i])
+				}
+				fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%v\t%.2fx\t%t\n",
+					ld.name, batch, workers,
+					seq.Round(time.Millisecond), par.Round(time.Millisecond),
+					float64(seq)/float64(par), identical)
+			}
+		}
+	}
+	return w.Flush()
+}
+
+// StoreV2 measures format version 2 (delta+varint index sections,
+// DESIGN.md §9) against version 1 on the out-of-core workloads: file
+// size — the number the ≥25% CI gate pins on KDD — and the streaming
+// epoch cost of decoding varints on every chunk switch instead of
+// aliasing the mapping. Models from both encodings are checked
+// bit-identical per cell.
+func StoreV2(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(cfg.Out, "== Store v2: delta+varint chunks vs v1, size and epoch overhead ==")
+
+	lambda := compLambda(1e-2, cfg.Scale)
+	f := loss.NewLogistic(lambda, 0)
+
+	type workload struct {
+		name string
+		ds   *data.SparseDataset
+	}
+	var loads []workload
+	if !cfg.Quick {
+		m := scaled(100000, cfg.Scale, 2000)
+		loads = append(loads,
+			workload{"synth d=1000 5%", data.SparseSynthetic(rand.New(rand.NewSource(cfg.Seed)), m, 1000, 50, 0.02)},
+			workload{"synth d=1000 20%", data.SparseSynthetic(rand.New(rand.NewSource(cfg.Seed)), m, 1000, 200, 0.02)},
+		)
+	}
+	kdd, _ := data.KDDSimSparse(rand.New(rand.NewSource(cfg.Seed+1)), cfg.Scale)
+	loads = append(loads, workload{fmt.Sprintf("kdd-onehot d=%d %.0f%%", kdd.Dim(), 100*kdd.Density()), kdd})
+
+	dir, err := os.MkdirTemp("", "boltondp-storev2")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	epoch := func(s sgd.Samples) ([]float64, time.Duration, error) {
+		start := time.Now()
+		res, err := engine.Run(s, engine.Config{
+			Strategy: engine.Streaming,
+			SGD: sgd.Config{
+				Loss: f, Step: sgd.InvSqrtT(1), Passes: 1, Batch: 10, Radius: 1 / lambda,
+			},
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.W, time.Since(start), nil
+	}
+
+	w := newTab(cfg)
+	fmt.Fprintln(w, "workload\trows\tv1 MB\tv2 MB\tv2/v1\tv1 epoch\tv2 epoch\toverhead\tbit-identical")
+	for _, ld := range loads {
+		var rd [2]*store.Reader
+		var size [2]int64
+		for i, version := range []int{1, 2} {
+			path := filepath.Join(dir, fmt.Sprintf("v%d.bolt", version))
+			if err := store.Write(path, ld.ds, store.Options{Version: version}); err != nil {
+				return err
+			}
+			st, err := os.Stat(path)
+			if err != nil {
+				return err
+			}
+			size[i] = st.Size()
+			if rd[i], err = store.Open(path); err != nil {
+				return err
+			}
+		}
+		if _, _, err := epoch(rd[0]); err != nil {
+			return err
+		}
+		if _, _, err := epoch(rd[1]); err != nil {
+			return err
+		}
+		t1, t2 := time.Duration(math.MaxInt64), time.Duration(math.MaxInt64)
+		var w1, w2 []float64
+		for i := 0; i < 2; i++ {
+			model, d, err := epoch(rd[0])
+			if err != nil {
+				return err
+			}
+			if d < t1 {
+				t1 = d
+			}
+			w1 = model
+			if model, d, err = epoch(rd[1]); err != nil {
+				return err
+			}
+			if d < t2 {
+				t2 = d
+			}
+			w2 = model
+		}
+		identical := len(w1) == len(w2)
+		for i := range w1 {
+			identical = identical && math.Float64bits(w1[i]) == math.Float64bits(w2[i])
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.3f\t%v\t%v\t%.2fx\t%t\n",
+			ld.name, ld.ds.Len(),
+			float64(size[0])/(1<<20), float64(size[1])/(1<<20), float64(size[1])/float64(size[0]),
+			t1.Round(time.Millisecond), t2.Round(time.Millisecond),
+			float64(t2)/float64(t1), identical)
+		rd[0].Close()
+		rd[1].Close()
+	}
+	return w.Flush()
+}

@@ -60,6 +60,13 @@ type Model struct {
 	Classes int
 	// Published is when this version entered the registry.
 	Published time.Time
+
+	// w32 is the float32 scoring tier: one quantized weight row per
+	// class margin (one row for Linear, Classes rows for OneVsAll),
+	// built once at publish time. See f32.go for the precision
+	// argument; the f64 classifier above remains the source of truth
+	// and the persisted form.
+	w32 [][]float32
 }
 
 // newModel validates a classifier and wraps it as a registry version.
@@ -74,15 +81,18 @@ func newModel(name string, c eval.Classifier, meta map[string]string) (*Model, e
 			return nil, fmt.Errorf("serve: model %q has an empty weight vector", name)
 		}
 		m.Dim, m.Classes = len(cc.W), 2
+		m.w32 = [][]float32{quantize32(cc.W)}
 	case *eval.OneVsAll:
 		if len(cc.W) < 2 || len(cc.W[0]) == 0 {
 			return nil, fmt.Errorf("serve: model %q is a malformed one-vs-all model", name)
 		}
 		m.Dim, m.Classes = len(cc.W[0]), len(cc.W)
+		m.w32 = make([][]float32, len(cc.W))
 		for cls, w := range cc.W {
 			if len(w) != m.Dim {
 				return nil, fmt.Errorf("serve: model %q class %d has dim %d, want %d", name, cls, len(w), m.Dim)
 			}
+			m.w32[cls] = quantize32(w)
 		}
 	default:
 		return nil, fmt.Errorf("serve: cannot serve %T (registry models must round-trip eval.SaveClassifier)", c)

@@ -46,12 +46,21 @@ func (m *Model) Score(row *Row) (float64, error) {
 
 // scoreSparse scores one coordinate-form row through the sparse tier.
 func (m *Model) scoreSparse(idx []int, val []float64) (float64, error) {
+	return m.scoreSparseTier(idx, val, false)
+}
+
+// scoreSparseTier scores one coordinate-form row with the same
+// canonicalization and bounds checks on either precision tier.
+func (m *Model) scoreSparseTier(idx []int, val []float64, f32 bool) (float64, error) {
 	sp, err := sparseRow(idx, val)
 	if err != nil {
 		return 0, err
 	}
 	if mi := sp.MaxIndex(); mi >= m.Dim {
 		return 0, fmt.Errorf("sparse index %d out of range for model %q (dim %d)", mi, m.Name, m.Dim)
+	}
+	if f32 {
+		return m.predictSparse32(sp.Idx, sp.Val), nil
 	}
 	return m.Sparse.PredictSparse(sp), nil
 }
@@ -168,8 +177,28 @@ func (m *Model) ScoreBatchCSR(indptr, idx []int, val []float64, workers int) ([]
 }
 
 // ScoreBatchCSRCtx is ScoreBatchCSR bound to a context, with the same
-// cancellation contract as ScoreBatchCtx.
+// cancellation contract as ScoreBatchCtx. Both score through the
+// full-precision tier; the float32 tier the batch handler defaults to
+// is ScoreBatchCSRF32Ctx.
 func (m *Model) ScoreBatchCSRCtx(ctx context.Context, indptr, idx []int, val []float64, workers int) ([]float64, error) {
+	return m.scoreBatchCSR(ctx, indptr, idx, val, workers, false)
+}
+
+// ScoreBatchCSRF32 scores a columnar sparse batch through the float32
+// tier: identical validation and fan-out, with each margin taken
+// against the quantized weight rows (see f32.go). Labels agree with
+// the full-precision tier except on rows whose margin magnitude is
+// within weight-quantization distance of the decision boundary.
+func (m *Model) ScoreBatchCSRF32(indptr, idx []int, val []float64, workers int) ([]float64, error) {
+	return m.scoreBatchCSR(context.Background(), indptr, idx, val, workers, true)
+}
+
+// ScoreBatchCSRF32Ctx is ScoreBatchCSRF32 bound to a context.
+func (m *Model) ScoreBatchCSRF32Ctx(ctx context.Context, indptr, idx []int, val []float64, workers int) ([]float64, error) {
+	return m.scoreBatchCSR(ctx, indptr, idx, val, workers, true)
+}
+
+func (m *Model) scoreBatchCSR(ctx context.Context, indptr, idx []int, val []float64, workers int, f32 bool) ([]float64, error) {
 	if len(idx) != len(val) {
 		return nil, fmt.Errorf("idx/val length mismatch %d != %d", len(idx), len(val))
 	}
@@ -187,7 +216,7 @@ func (m *Model) ScoreBatchCSRCtx(ctx context.Context, indptr, idx []int, val []f
 			if a < 0 || a > b || b > len(idx) {
 				return fmt.Errorf("row %d: indptr not monotone", i)
 			}
-			y, err := m.scoreSparse(idx[a:b], val[a:b])
+			y, err := m.scoreSparseTier(idx[a:b], val[a:b], f32)
 			if err != nil {
 				return fmt.Errorf("row %d: %w", i, err)
 			}
@@ -261,6 +290,11 @@ type Config struct {
 	MaxBatch int
 	// MaxBody caps the request body in bytes (default 32 MiB).
 	MaxBody int64
+	// Float64Batch opts the columnar /predict/batch path out of the
+	// float32 scoring tier, scoring every batch at full precision.
+	// Single-row /predict and the row-object batch form always score
+	// at full precision.
+	Float64Batch bool
 }
 
 func (c Config) withDefaults() Config {
@@ -347,8 +381,11 @@ type modelInfo struct {
 }
 
 type modelzResponse struct {
-	Live   string      `json:"live,omitempty"`
-	Models []modelInfo `json:"models"`
+	Live string `json:"live,omitempty"`
+	// BatchTier is the precision tier the columnar /predict/batch path
+	// scores at: "float32" (default) or "float64" (Config.Float64Batch).
+	BatchTier string      `json:"batchTier"`
+	Models    []modelInfo `json:"models"`
 }
 
 // model resolves the version a request addresses: a named one, or the
@@ -429,7 +466,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var labels []float64
 	if csr {
-		labels, err = m.ScoreBatchCSRCtx(r.Context(), req.Indptr, req.Idx, req.Val, s.cfg.Workers)
+		labels, err = m.scoreBatchCSR(r.Context(), req.Indptr, req.Idx, req.Val, s.cfg.Workers, !s.cfg.Float64Batch)
 	} else {
 		labels, err = m.scoreBatchRaw(r.Context(), req.Rows, s.cfg.Workers)
 	}
@@ -462,7 +499,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleModelz(w http.ResponseWriter, _ *http.Request) {
 	live := s.reg.Live()
-	resp := modelzResponse{Models: []modelInfo{}}
+	resp := modelzResponse{BatchTier: s.BatchTier(), Models: []modelInfo{}}
 	if live != nil {
 		resp.Live = live.Name
 	}

@@ -1,0 +1,163 @@
+package sgd
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"boltondp/internal/loss"
+	"boltondp/internal/vec"
+)
+
+// Parallel kernel benchmarks (run with:
+// go test -bench ParKernel -benchmem ./internal/sgd). One epoch of
+// strongly convex PSGD over a dense d = 800 problem at batch 32 — big
+// enough per-batch work that fanning it out pays — swept over
+// KernelWorkers. The acceptance floor (≥1.8× at W=4, CI-gated by
+// TestParKernelSpeedup on 4-vCPU runners) applies to the dense epoch;
+// the sparse sweep is informational, since its Deriv phase is a far
+// smaller slice of the update.
+
+const (
+	parBenchRows  = 4096
+	parBenchDim   = 800
+	parBenchBatch = 32
+)
+
+var parBenchOnce *SliceSamples
+
+// parBenchData builds the dense benchmark workload once per process:
+// unit-ball rows with fully dense features, so every Grad costs O(d).
+func parBenchData() *SliceSamples {
+	if parBenchOnce != nil {
+		return parBenchOnce
+	}
+	r := rand.New(rand.NewSource(17))
+	de := &SliceSamples{}
+	for i := 0; i < parBenchRows; i++ {
+		x := make([]float64, parBenchDim)
+		for j := range x {
+			x[j] = r.NormFloat64()
+		}
+		if n := vec.Norm(x); n > 1 {
+			vec.Scale(x, 1/n)
+		}
+		y := 1.0
+		if r.Float64() < 0.5 {
+			y = -1
+		}
+		de.X = append(de.X, x)
+		de.Y = append(de.Y, y)
+	}
+	parBenchOnce = de
+	return de
+}
+
+func parBenchConfig(kernelWorkers int, seed int64) Config {
+	f := loss.NewLogistic(1e-2, 0)
+	p := f.Params()
+	return Config{
+		Loss:          f,
+		Step:          StronglyConvexPaper(p.Beta, p.Gamma),
+		Passes:        1,
+		Batch:         parBenchBatch,
+		Radius:        100,
+		KernelWorkers: kernelWorkers,
+		Rand:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// BenchmarkParKernelDense: one dense epoch per op, swept over W.
+func BenchmarkParKernelDense(b *testing.B) {
+	de := parBenchData()
+	rows := float64(de.Len())
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(de, parBenchConfig(w, int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rows*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkParKernelSparse: the sparse kernel's Deriv fan-out, swept
+// over W on a 5%-dense d = 2000 problem.
+func BenchmarkParKernelSparse(b *testing.B) {
+	r := rand.New(rand.NewSource(19))
+	sp, _ := randomSparseSamples(r, parBenchRows, 2000, 100)
+	f := loss.NewLogistic(1e-2, 0)
+	rows := float64(sp.Len())
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			cfg := parBenchConfig(w, 0)
+			cfg.Loss = f
+			if !UsesSparseKernel(sp, cfg) {
+				b.Fatal("benchmark source not sparse-dispatched")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := parBenchConfig(w, int64(i))
+				c.Loss = f
+				if _, err := Run(sp, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rows*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// TestParKernelSpeedup is the acceptance gate for the parallel kernel:
+// a W = 4 dense epoch must run at least 1.8× faster than the W = 1
+// epoch it is bit-identical to. Timing-sensitive, so it is skipped
+// under -race, -short and on machines without 4 CPUs (the 1-CPU dev
+// container cannot exhibit a speedup); CI's 4-vCPU runners enforce it
+// in the parkernel benchmark smoke step.
+func TestParKernelSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing gate is meaningless under -race")
+	}
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("speedup gate needs 4 CPUs, have %d", runtime.GOMAXPROCS(0))
+	}
+	de := parBenchData()
+	epoch := func(w int, seed int64) time.Duration {
+		start := time.Now()
+		if _, err := Run(de, parBenchConfig(w, seed)); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	// Warm both paths, then take the minimum of alternating runs — the
+	// cleanest estimator of true cost under CI scheduling noise (same
+	// protocol as the store's epoch-overhead gate).
+	epoch(1, 0)
+	epoch(4, 0)
+	const rounds = 7
+	seq, par := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < rounds; i++ {
+		if d := epoch(1, int64(i)); d < seq {
+			seq = d
+		}
+		if d := epoch(4, int64(i)); d < par {
+			par = d
+		}
+	}
+	speedup := float64(seq) / float64(par)
+	t.Logf("dense epoch: W=1 %v, W=4 %v, speedup %.2f×", seq, par, speedup)
+	if speedup < 1.8 {
+		t.Fatalf("W=4 speedup %.2f× below the 1.8× acceptance floor", speedup)
+	}
+}

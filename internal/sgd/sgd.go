@@ -115,6 +115,17 @@ type Config struct {
 	// construction. Incompatible with Perm and FreshPerm.
 	NoPerm bool
 
+	// KernelWorkers is the intra-batch parallelism degree W of a single
+	// run (0 or 1 = sequential, the default). W > 1 fans the
+	// per-example phase of every large-enough mini-batch — dense
+	// gradients, sparse margin derivatives — across W goroutines and
+	// reduces in example-index order, so the result is BIT-IDENTICAL to
+	// the sequential kernel for every W (see parallel.go for the
+	// determinism argument). It composes with the engine's Sharded
+	// strategy: shard count P is inter-shard parallelism, this is
+	// intra-batch parallelism within each shard.
+	KernelWorkers int
+
 	// T0 offsets the 1-based update counter: the first update of this
 	// run is numbered T0+1, so Step.Eta and GradNoise see the global
 	// counter. The sharded engine uses it to continue a step-size
@@ -182,6 +193,9 @@ func (c *Config) validate(m int) error {
 	}
 	if c.T0 < 0 {
 		return fmt.Errorf("sgd: T0 must be >= 0, got %d", c.T0)
+	}
+	if c.KernelWorkers < 0 {
+		return fmt.Errorf("sgd: KernelWorkers must be >= 0, got %d", c.KernelWorkers)
 	}
 	if c.Rand == nil && !c.NoPerm && (c.Perm == nil || c.FreshPerm) {
 		return errors.New("sgd: Rand is required when permutations must be sampled")
@@ -276,6 +290,14 @@ func Run(s Samples, cfg Config) (*Result, error) {
 	if updatesPerPass < 1 {
 		updatesPerPass = 1
 	}
+	// The final batch of a pass absorbs the remainder (see above), so
+	// batches reach size < 2b; maxBatch bounds the parallel kernel's
+	// per-example buffers.
+	maxBatch := m - (updatesPerPass-1)*b
+	dk := newDenseKernel(s, cfg.KernelWorkers, maxBatch, d, cfg.Loss, w, grad)
+	if dk != nil {
+		defer dk.close()
+	}
 	// Tail averaging covers the last ⌈ln T⌉ of the T planned updates
 	// (counted globally when a T0 offset is in play).
 	total := cfg.T0 + cfg.Passes*updatesPerPass
@@ -307,15 +329,22 @@ func Run(s Samples, cfg Config) (*Result, error) {
 			if u == updatesPerPass-1 {
 				end = m // merge the remainder into the final batch
 			}
-			vec.Zero(grad)
-			for i := start; i < end; i++ {
-				idx := i
-				if perm != nil {
-					idx = perm[i]
+			if dk != nil && end-start >= minParBatch {
+				// Bit-identical to the sequential accumulation below —
+				// see parallel.go — so per-batch dispatch never changes
+				// a result.
+				dk.batch(perm, start, end)
+			} else {
+				vec.Zero(grad)
+				for i := start; i < end; i++ {
+					idx := i
+					if perm != nil {
+						idx = perm[i]
+					}
+					x, y := s.At(idx)
+					cfg.Loss.Grad(gbuf, w, x, y)
+					vec.Axpy(grad, 1, gbuf)
 				}
-				x, y := s.At(idx)
-				cfg.Loss.Grad(gbuf, w, x, y)
-				vec.Axpy(grad, 1, gbuf)
 			}
 			vec.Scale(grad, 1/float64(end-start))
 			t++

@@ -137,6 +137,11 @@ type sparseState struct {
 	stilde []float64
 
 	cbuf []float64 // per-batch Deriv scalars, capacity fixed up front
+
+	// par, when non-nil, fans the Deriv phase of large-enough batches
+	// across Config.KernelWorkers goroutines (parallel.go); the result
+	// is bit-identical to the sequential loop either way.
+	par *sparseKernel
 }
 
 // newSparseState initializes the representation at w0 (nil = origin).
@@ -216,13 +221,17 @@ func (st *sparseState) batch(s SparseSamples, perm []int, start, end int, eta fl
 		return
 	}
 	cb := st.cbuf[:n]
-	for j := 0; j < n; j++ {
-		i := start + j
-		if perm != nil {
-			i = perm[i]
+	if st.par != nil && n >= minParBatch {
+		st.par.deriv(perm, start, n)
+	} else {
+		for j := 0; j < n; j++ {
+			i := start + j
+			if perm != nil {
+				i = perm[i]
+			}
+			x, y := s.AtSparse(i)
+			cb[j] = st.f.Deriv(st.alpha*x.Dot(st.v), y)
 		}
-		x, y := s.AtSparse(i)
-		cb[j] = st.f.Deriv(st.alpha*x.Dot(st.v), y)
 	}
 	st.shrink(eta)
 	scale := -eta / (float64(n) * st.alpha)
@@ -332,6 +341,10 @@ func runSparse(s SparseSamples, lf loss.Linear, cfg Config) (*Result, error) {
 	}
 
 	st := newSparseState(lf, d, maxBatch, cfg.Radius, cfg.Average || cfg.AverageTail, cfg.W0)
+	st.par = newSparseKernel(s, cfg.KernelWorkers, maxBatch, st)
+	if st.par != nil {
+		defer st.par.close()
+	}
 	var wd []float64
 	if cfg.Tol > 0 || cfg.Progress != nil {
 		wd = make([]float64, d)

@@ -22,6 +22,7 @@ type kddBench struct {
 	ds   *data.SparseDataset
 	path string
 	rd   *store.Reader
+	rdV2 *store.Reader // the same rows under the v2 delta+varint encoding
 }
 
 var kddOnce *kddBench
@@ -45,7 +46,15 @@ func kddWorkload(tb testing.TB) *kddBench {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	kddOnce = &kddBench{ds: ds, path: path, rd: rd}
+	pathV2 := filepath.Join(dir, "kdd_v2.bolt")
+	if err := store.Write(pathV2, ds, store.Options{Version: 2}); err != nil {
+		tb.Fatal(err)
+	}
+	rdV2, err := store.Open(pathV2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	kddOnce = &kddBench{ds: ds, path: path, rd: rd, rdV2: rdV2}
 	return kddOnce
 }
 
@@ -116,6 +125,39 @@ func BenchmarkStoreChunkScan(b *testing.B) {
 	}
 	b.ReportMetric(rows*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 	_ = sink
+}
+
+// BenchmarkStoreV2Scan measures raw chunk throughput under the v2
+// delta+varint encoding — the decode cost the smaller file buys
+// (BenchmarkStoreChunkScan is the v1 baseline).
+func BenchmarkStoreV2Scan(b *testing.B) {
+	w := kddWorkload(b)
+	rows := float64(w.rdV2.Len())
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < w.rdV2.Chunks(); c++ {
+			_, _, val, _, err := w.rdV2.ChunkCSR(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += val[0]
+		}
+	}
+	b.ReportMetric(rows*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	_ = sink
+}
+
+// BenchmarkStoreEpochKDDV2: one single-pass training epoch read from
+// the v2-encoded store — the end-to-end cost of the compressed format.
+func BenchmarkStoreEpochKDDV2(b *testing.B) {
+	w := kddWorkload(b)
+	rows := float64(w.rdV2.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runEpoch(b, w.rdV2)
+	}
+	b.ReportMetric(rows*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 }
 
 // BenchmarkStoreWriteKDD measures the one-pass conversion throughput

@@ -1,0 +1,281 @@
+package store_test
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"boltondp/internal/data"
+	"boltondp/internal/engine"
+	"boltondp/internal/sgd"
+	"boltondp/internal/store"
+	"boltondp/internal/vec"
+)
+
+// sameRows asserts src and rd serve bit-identical rows and labels.
+func sameRows(t *testing.T, tag string, src sgd.SparseSamples, rd *store.Reader) {
+	t.Helper()
+	if rd.Len() != src.Len() {
+		t.Fatalf("%s: Len %d != %d", tag, rd.Len(), src.Len())
+	}
+	for i := 0; i < src.Len(); i++ {
+		want, wy := src.AtSparse(i)
+		wantIdx := append([]int(nil), want.Idx...)
+		wantVal := append([]float64(nil), want.Val...) // src may reuse scratch
+		got, gy := rd.AtSparse(i)
+		if math.Float64bits(gy) != math.Float64bits(wy) || len(got.Idx) != len(wantIdx) {
+			t.Fatalf("%s row %d: label or nnz mismatch", tag, i)
+		}
+		for k := range wantIdx {
+			if got.Idx[k] != wantIdx[k] || math.Float64bits(got.Val[k]) != math.Float64bits(wantVal[k]) {
+				t.Fatalf("%s row %d: coordinate %d differs", tag, i, k)
+			}
+		}
+	}
+}
+
+// TestStoreV2RoundTrip pins the version-2 core contract: every row read
+// back through the delta+varint decode is bit-identical to the row
+// written, across chunk geometries, and the file reports its version.
+func TestStoreV2RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ds := data.SparseSynthetic(r, 257, 100, 9, 0.05)
+	for _, chunkRows := range []int{1, 16, 64, 257, 1000} {
+		rd := openStore(t, writeStore(t, t.TempDir(), ds, store.Options{ChunkRows: chunkRows, Version: 2}))
+		if rd.Version() != 2 {
+			t.Fatalf("chunkRows=%d: Version = %d, want 2", chunkRows, rd.Version())
+		}
+		if int(rd.NNZ()) != ds.NNZ() || rd.Dim() != ds.Dim() || rd.Classes() != ds.Classes {
+			t.Fatalf("chunkRows=%d: metadata mismatch", chunkRows)
+		}
+		sameRows(t, "v2", ds, rd)
+		if err := rd.Verify(); err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+	}
+	// The default remains version 1 — existing files and callers are
+	// untouched by the new encoding.
+	rd := openStore(t, writeStore(t, t.TempDir(), ds, store.Options{}))
+	if rd.Version() != 1 {
+		t.Fatalf("default Version = %d, want 1", rd.Version())
+	}
+	if _, err := store.Create(filepath.Join(t.TempDir(), "x.bolt"), store.Options{Version: 3}); err == nil {
+		t.Fatal("Version 3 accepted")
+	}
+}
+
+// TestStoreV2TrainingParity extends the representation-independence
+// invariant to the new encoding: training from a v2 store is
+// bit-identical to training from the v1 store and from the in-memory
+// dataset both were written from, under every execution strategy.
+func TestStoreV2TrainingParity(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	ds, _ := data.KDDSimSparse(r, 0.004)
+	dir := t.TempDir()
+	v1 := openStore(t, writeStore(t, dir, ds, store.Options{ChunkRows: 256}))
+	v2path := filepath.Join(dir, "v2.bolt")
+	if err := store.Write(v2path, ds, store.Options{ChunkRows: 256, Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := openStore(t, v2path)
+	sameRows(t, "v2-vs-mem", ds, v2)
+
+	for _, tc := range []struct {
+		name   string
+		cfg    engine.Config
+		seed   int64
+		passes int
+	}{
+		{"sequential", engine.Config{Strategy: engine.Sequential}, 1, 2},
+		{"sharded-4", engine.Config{Strategy: engine.Sharded, Workers: 4}, 3, 2},
+		{"streaming", engine.Config{Strategy: engine.Streaming}, 0, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(s sgd.Samples) []float64 {
+				cfg := tc.cfg
+				cfg.SGD = epochCfg().SGD
+				cfg.SGD.Passes = tc.passes
+				if tc.cfg.Strategy != engine.Streaming {
+					cfg.SGD.Rand = rand.New(rand.NewSource(tc.seed))
+				}
+				res, err := engine.Run(s, cfg)
+				if err != nil {
+					t.Fatalf("engine.Run: %v", err)
+				}
+				return res.W
+			}
+			mem := run(ds)
+			bitsEqual(t, "v1 W", run(v1), mem)
+			bitsEqual(t, "v2 W", run(v2), mem)
+		})
+	}
+}
+
+// TestStoreV2Size is the compression acceptance gate: on the KDD sparse
+// simulation a version-2 store must be at least 25% smaller than the
+// version-1 store of the same rows. (At d=122 the gap is far wider —
+// gaps and row lengths fit single varint bytes where v1 spends eight.)
+func TestStoreV2Size(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ds, _ := data.KDDSimSparse(r, 0.02)
+	dir := t.TempDir()
+	size := func(version int) int64 {
+		path := filepath.Join(dir, "s.bolt")
+		if err := store.Write(path, ds, store.Options{Version: version}); err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Size()
+	}
+	s1, s2 := size(1), size(2)
+	ratio := float64(s2) / float64(s1)
+	t.Logf("store size on KDDSimSparse(%d rows): v1 %d B, v2 %d B, v2/v1 = %.3f", ds.Len(), s1, s2, ratio)
+	if ratio > 0.75 {
+		t.Fatalf("v2 is only %.1f%% smaller than v1, acceptance floor is 25%%", (1-ratio)*100)
+	}
+}
+
+// v2Fixture writes a tiny v2 store whose chunk-0 geometry the
+// fail-closed test can locate: 5 rows of 3 non-zeros in one chunk, so
+// the varint section is 5 row lengths + 15 column varints = 20 bytes
+// plus 4 pad bytes.
+func v2Fixture(t *testing.T) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "v2.bolt")
+	w, err := store.Create(path, store.Options{ChunkRows: 8, Version: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		x := &vec.Sparse{Idx: []int{i, i + 7, i + 40}, Val: []float64{1, -2, 3}}
+		if err := w.Append(x, float64(1-2*(i%2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestStoreV2FailClosedVarints exercises the varint decoder's own
+// corruption handling: mutations that keep the chunk CRC consistent
+// (recomputed after the mutation) so only the decode can catch them.
+// Each must surface as a Verify error, never a panic or a wrong row.
+func TestStoreV2FailClosedVarints(t *testing.T) {
+	raw := v2Fixture(t)
+	// Chunk 0: header at 48, payload at 64; val+y prefix is
+	// 8·(15+5) = 160 bytes, then the 24-byte varint+pad section.
+	const payloadOff, varintOff = 64, 64 + 160
+	plen := int(binary.LittleEndian.Uint32(raw[56:60]))
+
+	check := func(name string, mutate func(b []byte)) {
+		t.Run(name, func(t *testing.T) {
+			b := append([]byte(nil), raw...)
+			mutate(b)
+			// Re-seal the payload so the CRC check passes and the decoder
+			// is the layer under test.
+			binary.LittleEndian.PutUint32(b[60:64], crc32.ChecksumIEEE(b[payloadOff:payloadOff+plen]))
+			path := filepath.Join(t.TempDir(), "bad.bolt")
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rd, err := store.Open(path)
+			if err != nil {
+				return // failed closed at Open
+			}
+			defer rd.Close()
+			if err := rd.Verify(); err == nil {
+				t.Fatal("corrupt varint section neither rejected at Open nor by Verify")
+			}
+		})
+	}
+
+	check("overlong-varints", func(b []byte) {
+		for o := varintOff; o < payloadOff+plen; o++ {
+			b[o] = 0xFF // continuation bits forever: truncated/overflowing varint
+		}
+	})
+	check("zero-varints", func(b []byte) {
+		for o := varintOff; o < payloadOff+plen; o++ {
+			b[o] = 0 // row lengths sum to 0 ≠ nnz
+		}
+	})
+	check("zero-column-gap", func(b []byte) {
+		b[varintOff+5+1] = 0 // row 0's first gap varint
+	})
+	check("column-out-of-range", func(b []byte) {
+		b[varintOff+5] = 0x7F // row 0's absolute column ≥ dim (45)
+	})
+	check("nonzero-pad", func(b []byte) {
+		b[payloadOff+plen-1] = 1
+	})
+	// A v2 payload under a header claiming version 1 must fail the
+	// geometry check (and vice versa there is no matching plen).
+	t.Run("version-mismatch", func(t *testing.T) {
+		b := append([]byte(nil), raw...)
+		binary.LittleEndian.PutUint32(b[8:12], 1)
+		binary.LittleEndian.PutUint32(b[40:44], crc32.ChecksumIEEE(b[0:40]))
+		path := filepath.Join(t.TempDir(), "bad.bolt")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rd, err := store.Open(path)
+		if err != nil {
+			return
+		}
+		defer rd.Close()
+		if err := rd.Verify(); err == nil {
+			t.Fatal("v2 payload accepted under a v1 header")
+		}
+	})
+}
+
+// TestStoreV2ScanAllocs extends the arena-reuse gate to the new
+// encoding: v2 chunks are varint-decoded on every chunk switch, but a
+// steady-state sequential scan still performs zero allocations.
+func TestStoreV2ScanAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ds := data.SparseSynthetic(r, 512, 80, 8, 0)
+	rd := openStore(t, writeStore(t, t.TempDir(), ds, store.Options{ChunkRows: 64, Version: 2}))
+	scan := func() {
+		for i := 0; i < rd.Len(); i++ {
+			rd.AtSparse(i)
+		}
+	}
+	scan()
+	if allocs := testing.AllocsPerRun(10, scan); allocs != 0 {
+		t.Fatalf("sequential v2 scan allocates %v per pass, want 0", allocs)
+	}
+}
+
+// TestStoreV2Manifest: chunk refs work identically over a v2 file (the
+// distributed tier's integrity handshake is encoding-agnostic).
+func TestStoreV2Manifest(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	ds := data.SparseSynthetic(r, 100, 30, 4, 0)
+	rd := openStore(t, writeStore(t, t.TempDir(), ds, store.Options{ChunkRows: 32, Version: 2}))
+	refs, err := rd.ChunkRefsForRows(0, rd.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != rd.Chunks() {
+		t.Fatalf("got %d refs, want %d", len(refs), rd.Chunks())
+	}
+	for i, ref := range refs {
+		if ref.Index != i || ref.CRC == 0 {
+			t.Fatalf("ref %d malformed: %+v", i, ref)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package store_test
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -13,12 +15,12 @@ import (
 
 // storeBytes builds a small valid store file and returns its raw
 // bytes, the base material for the seed corpus.
-func storeBytes(f *testing.F, chunkRows int) []byte {
+func storeBytes(f *testing.F, opt store.Options) []byte {
 	f.Helper()
-	r := rand.New(rand.NewSource(int64(chunkRows)))
+	r := rand.New(rand.NewSource(int64(opt.ChunkRows)))
 	ds := data.SparseSynthetic(r, 37, 20, 4, 0)
 	path := filepath.Join(f.TempDir(), "seed.bolt")
-	if err := store.Write(path, ds, store.Options{ChunkRows: chunkRows}); err != nil {
+	if err := store.Write(path, ds, opt); err != nil {
 		f.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -34,10 +36,10 @@ func storeBytes(f *testing.F, chunkRows int) []byte {
 // chunk geometries plus the corruption classes the fail-closed tests
 // pin (truncation, payload/directory bit flips, header field damage).
 func FuzzReadStore(f *testing.F) {
-	valid := storeBytes(f, 8)
+	valid := storeBytes(f, store.Options{ChunkRows: 8})
 	f.Add(valid)
-	f.Add(storeBytes(f, 1))
-	f.Add(storeBytes(f, 64))
+	f.Add(storeBytes(f, store.Options{ChunkRows: 1}))
+	f.Add(storeBytes(f, store.Options{ChunkRows: 64}))
 
 	mutate := func(fn func(b []byte) []byte) {
 		f.Add(fn(append([]byte(nil), valid...)))
@@ -58,6 +60,39 @@ func FuzzReadStore(f *testing.F) {
 	mutate(func(b []byte) []byte { return append(b, 0, 0, 0, 0) })     // trailing garbage
 	f.Add([]byte{})
 	f.Add([]byte("BOLTSTR1"))
+
+	// Version-2 seeds: valid files at several geometries, plus
+	// CRC-consistent varint-section damage so the fuzzer starts inside
+	// the delta decoder's error paths (a plain bit flip is caught by the
+	// chunk CRC before the decoder ever runs).
+	valid2 := storeBytes(f, store.Options{ChunkRows: 8, Version: 2})
+	f.Add(valid2)
+	f.Add(storeBytes(f, store.Options{ChunkRows: 1, Version: 2}))
+	f.Add(storeBytes(f, store.Options{ChunkRows: 64, Version: 2}))
+	mutate2 := func(fn func(b []byte) []byte) {
+		b := fn(append([]byte(nil), valid2...))
+		// Re-seal chunk 0's payload CRC so the damage reaches the decoder.
+		plen := int(binary.LittleEndian.Uint32(b[56:60]))
+		if 64+plen <= len(b) {
+			binary.LittleEndian.PutUint32(b[60:64], crc32.ChecksumIEEE(b[64:64+plen]))
+		}
+		f.Add(b)
+	}
+	chunk0plen := int(binary.LittleEndian.Uint32(valid2[56:60]))
+	mutate2(func(b []byte) []byte { b[64+chunk0plen-1] = 0xFF; return b }) // pad / varint tail byte
+	mutate2(func(b []byte) []byte { b[64+chunk0plen-8] = 0x80; return b }) // dangling continuation bit
+	mutate2(func(b []byte) []byte {                                        // zeroed varint section tail
+		for o := 64 + chunk0plen - 16; o < 64+chunk0plen; o++ {
+			b[o] = 0
+		}
+		return b
+	})
+	mutate2(func(b []byte) []byte { // v2 payload under a v1 header version
+		binary.LittleEndian.PutUint32(b[8:12], 1)
+		binary.LittleEndian.PutUint32(b[40:44], crc32.ChecksumIEEE(b[0:40]))
+		return b
+	})
+	mutate2(func(b []byte) []byte { b[56] ^= 0x04; return b }) // plen misaligned by 4
 
 	// One scratch file per worker process: os.WriteFile truncates, so
 	// each exec sees only its own bytes, without a TempDir per exec.

@@ -55,7 +55,7 @@ func (r *Reader) ChunkRef(c int) (ChunkRef, error) {
 	if rows != wantRows {
 		return ChunkRef{}, fmt.Errorf("store: %s: chunk %d holds %d rows, want %d", r.path, c, rows, wantRows)
 	}
-	if plen != payloadLen(rows, nnz) {
+	if !plenConsistent(r.hdr.version, rows, nnz, plen) {
 		return ChunkRef{}, fmt.Errorf("store: %s: chunk %d payload length %d inconsistent with %d rows / %d nnz", r.path, c, plen, rows, nnz)
 	}
 	return ChunkRef{Index: c, Rows: rows, CRC: crc}, nil
