@@ -257,10 +257,18 @@ func RunDPCoordCtx(ctx context.Context, cfg *DPCoordConfig, out io.Writer) error
 			return err
 		}
 		name := coordPublishName(cfg)
-		if _, err := reg.Publish(name, model, meta); err != nil {
+		m, err := reg.Publish(name, model, meta)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "model published to %s as %q (live)\n", cfg.Publish, name)
+		// Same promotion policy as dpsgd -publish: only an empty
+		// registry (or a republish of the live name) swaps traffic.
+		if reg.Live() == m {
+			fmt.Fprintf(out, "model published to %s as %q (live)\n", cfg.Publish, name)
+		} else {
+			fmt.Fprintf(out, "model published to %s as %q (live is %q; promote with dpserve -live or a canary rollout)\n",
+				cfg.Publish, name, reg.Live().Name)
+		}
 	}
 	return nil
 }

@@ -25,6 +25,20 @@ type DPServeConfig struct {
 	Live      string // live version name inside -models
 	Workers   int
 	MaxBatch  int
+
+	// Admission control (-max-inflight/-max-queue/-queue-timeout).
+	MaxInflight  int
+	MaxQueue     int
+	QueueTimeout time.Duration
+
+	// Watch (-watch/-watch-interval): poll the registry directory so a
+	// replica fleet converges on publishes and live-swaps.
+	Watch         bool
+	WatchInterval time.Duration
+
+	// Canary rollout (-canary/-canary-pct).
+	Canary    string
+	CanaryPct int
 }
 
 // ParseDPServe parses and validates args (excluding argv[0]).
@@ -38,6 +52,13 @@ func ParseDPServe(args []string, stderr io.Writer) (*DPServeConfig, error) {
 	fs.StringVar(&cfg.Live, "live", "", "registry model to serve live (default: the only model)")
 	fs.IntVar(&cfg.Workers, "workers", runtime.GOMAXPROCS(0), "goroutines scoring each batch request")
 	fs.IntVar(&cfg.MaxBatch, "max-batch", 0, "max rows per batch request (0 = server default)")
+	fs.IntVar(&cfg.MaxInflight, "max-inflight", 0, "max concurrent scoring requests (0 = unlimited; overflow queues, then sheds with 429)")
+	fs.IntVar(&cfg.MaxQueue, "max-queue", 0, "max requests queued for a scoring slot (0 = same as -max-inflight)")
+	fs.DurationVar(&cfg.QueueTimeout, "queue-timeout", 0, "max time a request may queue before shedding (0 = server default, 1s)")
+	fs.BoolVar(&cfg.Watch, "watch", false, "poll -models for publishes and live-swaps from other processes")
+	fs.DurationVar(&cfg.WatchInterval, "watch-interval", 0, "poll interval for -watch (0 = default, 2s)")
+	fs.StringVar(&cfg.Canary, "canary", "", "registry model to canary: routes -canary-pct% of live batch rows to it")
+	fs.IntVar(&cfg.CanaryPct, "canary-pct", 10, "percent of live batch rows routed to the -canary model (0-100)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -50,6 +71,18 @@ func ParseDPServe(args []string, stderr io.Writer) (*DPServeConfig, error) {
 	if cfg.MaxBatch < 0 {
 		return nil, fmt.Errorf("cli: -max-batch must be >= 0, got %d", cfg.MaxBatch)
 	}
+	if cfg.MaxInflight < 0 {
+		return nil, fmt.Errorf("cli: -max-inflight must be >= 0, got %d", cfg.MaxInflight)
+	}
+	if cfg.MaxQueue < 0 || cfg.QueueTimeout < 0 {
+		return nil, errors.New("cli: -max-queue and -queue-timeout must be >= 0")
+	}
+	if cfg.MaxInflight == 0 && (cfg.MaxQueue > 0 || cfg.QueueTimeout > 0) {
+		return nil, errors.New("cli: -max-queue/-queue-timeout need -max-inflight to enable admission control")
+	}
+	if cfg.CanaryPct < 0 || cfg.CanaryPct > 100 {
+		return nil, fmt.Errorf("cli: -canary-pct must be in [0,100], got %d", cfg.CanaryPct)
+	}
 	switch {
 	case cfg.ModelsDir == "" && cfg.ModelPath == "":
 		return nil, errors.New("cli: need a model source: -models DIR or -model FILE")
@@ -57,6 +90,10 @@ func ParseDPServe(args []string, stderr io.Writer) (*DPServeConfig, error) {
 		return nil, errors.New("cli: -models and -model are mutually exclusive")
 	case cfg.ModelPath != "" && cfg.Live != "":
 		return nil, errors.New("cli: -live selects inside a -models registry; it conflicts with -model")
+	case cfg.ModelPath != "" && cfg.Watch:
+		return nil, errors.New("cli: -watch polls a -models registry; it conflicts with -model")
+	case cfg.ModelPath != "" && cfg.Canary != "":
+		return nil, errors.New("cli: -canary selects inside a -models registry; it conflicts with -model")
 	}
 	return cfg, nil
 }
@@ -98,7 +135,18 @@ func BuildDPServe(cfg *DPServeConfig) (*serve.Registry, *serve.Server, error) {
 			return nil, nil, err
 		}
 	}
-	return reg, serve.New(reg, serve.Config{Workers: cfg.Workers, MaxBatch: cfg.MaxBatch}), nil
+	if cfg.Canary != "" {
+		if err := reg.SetCanary(cfg.Canary, cfg.CanaryPct); err != nil {
+			return nil, nil, err
+		}
+	}
+	return reg, serve.New(reg, serve.Config{
+		Workers:      cfg.Workers,
+		MaxBatch:     cfg.MaxBatch,
+		MaxInflight:  cfg.MaxInflight,
+		MaxQueue:     cfg.MaxQueue,
+		QueueTimeout: cfg.QueueTimeout,
+	}), nil
 }
 
 // modelStem derives a registry model name from a file path: the base
@@ -133,6 +181,19 @@ func RunDPServeCtx(ctx context.Context, cfg *DPServeConfig, out io.Writer) error
 	live := reg.Live()
 	fmt.Fprintf(out, "dpserve: %d model(s), live=%q (dim=%d classes=%d), workers=%d, listening on %s\n",
 		reg.Len(), live.Name, live.Dim, live.Classes, cfg.Workers, ln.Addr())
+	if cm, pct, _, _ := reg.Canary(); cm != nil {
+		fmt.Fprintf(out, "dpserve: canary %q taking %d%% of live batch rows\n", cm.Name, pct)
+	}
+	if cfg.Watch {
+		// The watcher shares the server's lifetime: ctx cancellation
+		// stops it alongside the listener.
+		go reg.WatchEvery(ctx, cfg.WatchInterval) //nolint:errcheck // only returns ctx.Err()
+		every := cfg.WatchInterval
+		if every <= 0 {
+			every = serve.DefaultWatchInterval
+		}
+		fmt.Fprintf(out, "dpserve: watching %s every %v for publishes and live-swaps\n", cfg.ModelsDir, every)
+	}
 	hs := &http.Server{
 		Handler: srv.Handler(),
 		// A serving process must survive slow or stalled clients:

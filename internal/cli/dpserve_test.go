@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"boltondp/internal/eval"
 	"boltondp/internal/serve"
@@ -54,6 +55,32 @@ func TestParseDPServeTable(t *testing.T) {
 		{name: "negative max-batch", args: []string{"-models", "reg", "-max-batch", "-1"}, ok: false},
 		{name: "bad flag value", args: []string{"-models", "reg", "-workers", "nope"}, ok: false},
 		{name: "unknown flag", args: []string{"-models", "reg", "-nope"}, ok: false},
+		{
+			name: "admission knobs",
+			args: []string{"-models", "reg", "-max-inflight", "8", "-max-queue", "16", "-queue-timeout", "250ms"},
+			ok:   true,
+			chk: func(c *DPServeConfig) bool {
+				return c.MaxInflight == 8 && c.MaxQueue == 16 && c.QueueTimeout == 250*time.Millisecond
+			},
+		},
+		{
+			name: "watch with interval",
+			args: []string{"-models", "reg", "-watch", "-watch-interval", "100ms"},
+			ok:   true,
+			chk:  func(c *DPServeConfig) bool { return c.Watch && c.WatchInterval == 100*time.Millisecond },
+		},
+		{
+			name: "canary with pct",
+			args: []string{"-models", "reg", "-canary", "cand", "-canary-pct", "25"},
+			ok:   true,
+			chk:  func(c *DPServeConfig) bool { return c.Canary == "cand" && c.CanaryPct == 25 },
+		},
+		{name: "negative max-inflight", args: []string{"-models", "reg", "-max-inflight", "-1"}, ok: false},
+		{name: "queue without inflight", args: []string{"-models", "reg", "-max-queue", "4"}, ok: false},
+		{name: "queue-timeout without inflight", args: []string{"-models", "reg", "-queue-timeout", "1s"}, ok: false},
+		{name: "canary-pct out of range", args: []string{"-models", "reg", "-canary", "c", "-canary-pct", "101"}, ok: false},
+		{name: "watch without registry", args: []string{"-model", "m.json", "-watch"}, ok: false},
+		{name: "canary without registry", args: []string{"-model", "m.json", "-canary", "c"}, ok: false},
 	}
 	for _, tc := range cases {
 		cfg, err := ParseDPServe(tc.args, io.Discard)
@@ -93,6 +120,44 @@ func TestBuildDPServeErrors(t *testing.T) {
 	}
 	if srv == nil || reg.Live() == nil || reg.Live().Name != "b" {
 		t.Errorf("live %v", reg.Live())
+	}
+}
+
+// TestBuildDPServeCanaryAndAdmission: -canary and -max-inflight arrive
+// wired into the built service.
+func TestBuildDPServeCanaryAndAdmission(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"stable", "cand"} {
+		if err := eval.SaveClassifier(filepath.Join(dir, name+".json"), &eval.Linear{W: []float64{1, 2}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg, srv, err := BuildDPServe(&DPServeConfig{
+		ModelsDir: dir, Live: "stable", Workers: 1,
+		Canary: "cand", CanaryPct: 20, MaxInflight: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm, pct, _, _ := reg.Canary(); cm == nil || cm.Name != "cand" || pct != 20 {
+		t.Errorf("canary not wired: %v %d", cm, pct)
+	}
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/healthz", nil))
+	var health struct {
+		Admission *struct {
+			MaxInflight int `json:"maxInflight"`
+		} `json:"admission"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Admission == nil || health.Admission.MaxInflight != 2 {
+		t.Errorf("admission gate not wired: %s", w.Body.String())
+	}
+	// An unknown canary name fails the build, not the first request.
+	if _, _, err := BuildDPServe(&DPServeConfig{ModelsDir: dir, Live: "stable", Canary: "nope", CanaryPct: 20}); err == nil {
+		t.Error("unknown canary name accepted")
 	}
 }
 

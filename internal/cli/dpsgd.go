@@ -339,10 +339,20 @@ func RunDPSGDCtx(ctx context.Context, cfg *DPSGDConfig, out io.Writer) error {
 			return err
 		}
 		name := publishName(cfg)
-		if _, err := reg.Publish(name, model, meta); err != nil {
+		m, err := reg.Publish(name, model, meta)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "model published to %s as %q (live)\n", cfg.Publish, name)
+		// Publish only goes live into an empty registry (or when
+		// republishing the live name) — promotion into a populated
+		// registry is an explicit SetLive/canary step on the serving
+		// side, so the message must not claim traffic it didn't take.
+		if reg.Live() == m {
+			fmt.Fprintf(out, "model published to %s as %q (live)\n", cfg.Publish, name)
+		} else {
+			fmt.Fprintf(out, "model published to %s as %q (live is %q; promote with dpserve -live or a canary rollout)\n",
+				cfg.Publish, name, reg.Live().Name)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control and load-shedding: a bounded queue in front of the
+// scoring paths.
+//
+// Invariants (DESIGN.md §10, pinned by the overload tests):
+//
+//   - At most MaxInflight requests hold a scoring slot at once; at
+//     most MaxQueue more wait for one. Everything beyond that is shed
+//     *immediately* with 429 + Retry-After — an overloaded replica
+//     answers in microseconds instead of stacking goroutines, which is
+//     what lets a load balancer route around it.
+//   - Admitted work is never abandoned: a request that holds a slot
+//     runs to completion (its own ctx aside). Shedding only ever
+//     happens at the door.
+//   - Queued requests honor deadline propagation: the wait select
+//     includes the request ctx, so a client that disconnects or times
+//     out while queued is evicted without ever taking a slot.
+//   - A queue wait longer than QueueTimeout sheds: whoever queued
+//     behind a stuck batch gets a fast 429, not a slow one.
+//   - Introspection routes (/healthz, /modelz, /metrics) bypass
+//     admission entirely — an overloaded replica must still be
+//     observable, or the fleet cannot see that it is shedding.
+type admission struct {
+	maxInflight  int
+	maxQueue     int
+	queueTimeout time.Duration
+
+	slots  chan struct{} // cap maxInflight; a held token is a scoring slot
+	queued atomic.Int64
+	sheds  atomic.Uint64
+}
+
+// errShed marks a load-shedding rejection (429 + Retry-After).
+var errShed = errors.New("serve: overloaded, request shed")
+
+// newAdmission builds the gate, or nil when admission is unlimited.
+func newAdmission(cfg Config) *admission {
+	if cfg.MaxInflight <= 0 {
+		return nil
+	}
+	return &admission{
+		maxInflight:  cfg.MaxInflight,
+		maxQueue:     cfg.MaxQueue,
+		queueTimeout: cfg.QueueTimeout,
+		slots:        make(chan struct{}, cfg.MaxInflight),
+	}
+}
+
+// acquire obtains a scoring slot. It returns a release function on
+// admission; errShed when the request was shed (queue full or queue
+// wait exceeded QueueTimeout); or ctx.Err() when the request context
+// died while queued.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	// All slots busy: join the bounded queue or shed on overflow.
+	if a.queued.Add(1) > int64(a.maxQueue) {
+		a.queued.Add(-1)
+		a.sheds.Add(1)
+		return nil, errShed
+	}
+	defer a.queued.Add(-1)
+	t := time.NewTimer(a.queueTimeout)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-t.C:
+		a.sheds.Add(1)
+		return nil, errShed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	<-a.slots
+}
+
+// retryAfterSeconds is the Retry-After hint on a shed response: the
+// queue timeout rounded up to whole seconds — the horizon after which
+// a queue slot is guaranteed to have turned over — and at least 1.
+func (a *admission) retryAfterSeconds() int {
+	s := int(math.Ceil(a.queueTimeout.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// admissionState is the gate's observable state, reported by /healthz
+// and /metrics.
+type admissionState struct {
+	MaxInflight int    `json:"maxInflight"`
+	MaxQueue    int    `json:"maxQueue"`
+	Inflight    int    `json:"inflight"`
+	Queued      int64  `json:"queued"`
+	Sheds       uint64 `json:"sheds"`
+	// Shedding reports whether the gate is saturated right now: every
+	// slot held and the queue full, so an arriving request would shed.
+	Shedding bool `json:"shedding"`
+}
+
+func (a *admission) state() admissionState {
+	inflight, queued := len(a.slots), a.queued.Load()
+	return admissionState{
+		MaxInflight: a.maxInflight,
+		MaxQueue:    a.maxQueue,
+		Inflight:    inflight,
+		Queued:      queued,
+		Sheds:       a.sheds.Load(),
+		Shedding:    inflight == a.maxInflight && queued >= int64(a.maxQueue),
+	}
+}
+
+// admit wraps a scoring handler behind the gate. Introspection routes
+// are mounted without it.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	if s.adm == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.adm.acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, errShed) {
+				w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
+				s.httpError(w, http.StatusTooManyRequests, "overloaded: %d in flight, %d queued; retry later", s.adm.maxInflight, s.adm.maxQueue)
+				return
+			}
+			// The client's deadline or connection died while queued.
+			s.httpError(w, http.StatusServiceUnavailable, "request cancelled while queued: %v", err)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}

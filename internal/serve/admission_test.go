@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"boltondp/internal/eval"
+)
+
+// admissionServer builds a server whose scoring handlers block inside
+// the admission-held section until release is closed, so tests can
+// saturate the gate deterministically.
+func admissionServer(t *testing.T, cfg Config) (*Server, chan struct{}, chan struct{}) {
+	t.Helper()
+	reg, err := NewRegistry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("m", &eval.Linear{W: []float64{1, 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, cfg)
+	entered := make(chan struct{}, 64)
+	release := make(chan struct{})
+	s.testHookScoring = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	return s, entered, release
+}
+
+// TestAdmissionOverload saturates the gate and pins the whole overload
+// contract at once: slot-holders and queued requests complete with 200
+// (admitted work is never abandoned), the overflow request sheds
+// immediately with 429 + Retry-After, /healthz reports the shed-state
+// while it is happening, and the shed counter records it.
+func TestAdmissionOverload(t *testing.T) {
+	s, entered, release := admissionServer(t, Config{
+		MaxInflight: 2, MaxQueue: 1, QueueTimeout: 30 * time.Second,
+	})
+	h := s.Handler()
+
+	codes := make(chan int, 3)
+	var wg sync.WaitGroup
+	send := func() {
+		defer wg.Done()
+		w, _ := do(t, h, "POST", "/predict", `{"x":[1,0]}`)
+		codes <- w.Code
+	}
+
+	// Two requests take the slots and block inside scoring.
+	wg.Add(2)
+	go send()
+	go send()
+	<-entered
+	<-entered
+
+	// A third queues; wait until the gate sees it.
+	wg.Add(1)
+	go send()
+	waitFor(t, func() bool { return s.adm.state().Queued == 1 })
+
+	// The gate is saturated: /healthz must say so (and still answer —
+	// introspection bypasses admission).
+	w, out := do(t, h, "GET", "/healthz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz under saturation: %d", w.Code)
+	}
+	adm, _ := out["admission"].(map[string]any)
+	if adm == nil || adm["shedding"] != true || adm["inflight"] != 2.0 || adm["queued"] != 1.0 {
+		t.Errorf("healthz admission state: %v", out["admission"])
+	}
+
+	// The fourth request is shed immediately with the retry hint.
+	req := httptest.NewRequest("POST", "/predict", strings.NewReader(`{"x":[1,0]}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow: status %d, want 429", rec.Code)
+	}
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("overflow Retry-After %q", rec.Header().Get("Retry-After"))
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+		t.Errorf("shed response body: %s", rec.Body.String())
+	}
+
+	// Releasing the blocked batches lets every admitted request finish:
+	// zero dropped in-flight or queued work.
+	close(release)
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("admitted request finished with %d", code)
+		}
+	}
+	if sheds := s.adm.sheds.Load(); sheds != 1 {
+		t.Errorf("shed counter %d, want 1", sheds)
+	}
+}
+
+// TestAdmissionQueueCtxEviction: a queued request whose own context
+// dies is evicted from the queue (503) without ever taking a slot.
+func TestAdmissionQueueCtxEviction(t *testing.T) {
+	s, entered, release := admissionServer(t, Config{
+		MaxInflight: 1, MaxQueue: 4, QueueTimeout: 30 * time.Second,
+	})
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		do(t, h, "POST", "/predict", `{"x":[1,0]}`)
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/predict", strings.NewReader(`{"x":[1,0]}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	evicted := make(chan struct{})
+	go func() {
+		h.ServeHTTP(rec, req)
+		close(evicted)
+	}()
+	waitFor(t, func() bool { return s.adm.state().Queued == 1 })
+	cancel()
+	select {
+	case <-evicted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled request still queued")
+	}
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("evicted request: status %d, want 503", rec.Code)
+	}
+	if s.adm.state().Queued != 0 {
+		t.Error("eviction leaked a queue slot")
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestAdmissionQueueTimeout: a queue wait longer than QueueTimeout
+// sheds with 429 — whoever queued behind a stuck batch gets a fast
+// answer, not a slow one.
+func TestAdmissionQueueTimeout(t *testing.T) {
+	s, entered, release := admissionServer(t, Config{
+		MaxInflight: 1, MaxQueue: 4, QueueTimeout: 20 * time.Millisecond,
+	})
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		do(t, h, "POST", "/predict", `{"x":[1,0]}`)
+	}()
+	<-entered
+
+	w, _ := do(t, h, "POST", "/predict", `{"x":[1,0]}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Errorf("timed-out queue wait: status %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("timed-out queue wait missing Retry-After")
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestAdmissionDisabled: MaxInflight 0 leaves the gate off entirely —
+// no admission block in /healthz, no gating of requests.
+func TestAdmissionDisabled(t *testing.T) {
+	_, h := testServer(t, Config{})
+	w, out := do(t, h, "GET", "/healthz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	if _, present := out["admission"]; present {
+		t.Errorf("admission block reported with the gate off: %v", out)
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline approaches.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -19,6 +19,14 @@ import (
 // row) and n test rows in sparse wire form.
 func kddWorkload(tb testing.TB, n int) (http.Handler, []Row) {
 	tb.Helper()
+	return kddWorkloadCfg(tb, n, Config{Workers: 4})
+}
+
+// kddWorkloadCfg is kddWorkload with an explicit server config (the
+// metrics-overhead gate builds baseline and instrumented servers over
+// the same fixture).
+func kddWorkloadCfg(tb testing.TB, n int, cfg Config) (http.Handler, []Row) {
+	tb.Helper()
 	r := rand.New(rand.NewSource(7))
 	_, test := data.KDDSimSparse(r, 0.01)
 	w := make([]float64, test.Dim())
@@ -37,7 +45,7 @@ func kddWorkload(tb testing.TB, n int) (http.Handler, []Row) {
 		sp, _ := test.AtSparse(i % test.Len())
 		rows[i] = Row{Idx: append([]int(nil), sp.Idx...), Val: append([]float64(nil), sp.Val...)}
 	}
-	return New(reg, Config{Workers: 4}).Handler(), rows
+	return New(reg, cfg).Handler(), rows
 }
 
 // post sends one request over the real HTTP stack and fails on a

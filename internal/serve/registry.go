@@ -10,16 +10,24 @@
 // maintenance: maintain an artifact, answer queries against it, swap on
 // update).
 //
-// The subsystem has three parts:
+// The subsystem has five parts:
 //
 //   - Registry: named model versions persisted via the eval
 //     serialization format, with an atomically hot-swappable live
-//     model. Published models are immutable; readers can never observe
-//     a torn model.
+//     model and a persisted live designation replicas converge on.
+//     Published models are immutable; readers can never observe a
+//     torn model.
 //   - Server: HTTP handlers for /predict (one row, dense or sparse
 //     coordinate form), /predict/batch (amortized scoring, sparse rows
 //     routed through the eval sparse tier at O(rows·classes·nnz)), and
-//     /healthz + /modelz introspection.
+//     /healthz + /modelz + /metrics introspection, behind an optional
+//     bounded admission queue (see admission.go).
+//   - Watch: directory polling (watch.go) so N serving replicas over
+//     one shared registry directory converge on publishes and
+//     live-swaps without restart.
+//   - Canary: staged rollout (canary.go) routing a deterministic
+//     fraction of batch rows to a candidate version, with automatic
+//     rollback on error-rate regression.
 //   - The train-and-publish path: dpsgd -publish writes boltondp.Train
 //     output straight into a registry directory that cmd/dpserve
 //     serves.
@@ -107,34 +115,74 @@ func newModel(name string, c eval.Classifier, meta map[string]string) (*Model, e
 	return m, nil
 }
 
+// liveFile is the live-designation file inside a registry directory:
+// it holds the name of the designated live version, written atomically
+// on every swap, so separate serving replicas over one shared
+// directory converge on the same live model (watch.go polls it). The
+// leading dot keeps it out of the *.json model scan, and
+// ValidModelName rejects dotted names, so it can never collide with a
+// model file.
+const liveFile = ".live"
+
+// tmpSweepAge is how old a leftover *.tmp file must be before
+// NewRegistry removes it. A publisher that crashed mid-persist leaves
+// its temp file behind forever (the rename never ran); a *concurrent*
+// publisher's temp file is at most milliseconds old. The gate keeps
+// the sweep from deleting the latter while guaranteeing the former
+// cannot accumulate across restarts.
+const tmpSweepAge = time.Hour
+
+// fileStamp identifies one on-disk model file state for the watch
+// diff: a (mtime, size) pair. Persistence is temp+rename, so a file
+// never mutates in place — any republish lands as a new inode with a
+// fresh mtime.
+type fileStamp struct {
+	mtime time.Time
+	size  int64
+}
+
 // Registry holds named model versions and designates one of them live.
 //
 // Locking invariants (pinned by the race tests):
 //
-//   - The version map is guarded by mu; Publish/SetLive take the write
-//     lock, Get/Names/Models the read lock.
+//   - The version map is guarded by mu; Publish/SetLive/Refresh take
+//     the write lock, Get/Names/Models/Snapshot the read lock.
 //   - The live model is a single atomic pointer to an immutable Model.
 //     Prediction paths load it exactly once per request and never take
 //     mu, so hot-swaps cannot block or tear in-flight predictions: a
 //     reader sees the old version or the new one, never a mixture.
+//     Every live.Store happens while mu is held, so a reader holding
+//     the read lock observes a (live, models) pair from one registry
+//     state — the Snapshot contract /healthz relies on.
 //   - Persistence is write-to-temp + rename, so a registry directory
-//     never contains a half-written model file.
+//     never contains a half-written model file; the live designation
+//     file is written the same way.
 type Registry struct {
 	dir string // "" = in-memory only
 
-	live atomic.Pointer[Model]
+	live   atomic.Pointer[Model]
+	canary atomic.Pointer[canaryState]
+
+	// Logf, when non-nil, receives operational log lines (watch scan
+	// failures, canary rollbacks). Set it before starting Watch or
+	// serving traffic; nil logs through the standard library logger.
+	Logf func(format string, args ...any)
 
 	mu     sync.RWMutex
 	models map[string]*Model
+	seen   map[string]fileStamp // on-disk state the watch diff compares against
 }
 
 // NewRegistry opens the registry rooted at dir, creating the directory
 // if needed and loading every model file already in it (from earlier
-// Publish calls or dpsgd -publish). If exactly one model is found it
-// becomes live; otherwise the caller picks one with SetLive. dir == ""
-// gives an in-memory registry.
+// Publish calls or dpsgd -publish). Stale temp files from crashed
+// publishes (older than tmpSweepAge) are swept. The live model is the
+// one the directory's live-designation file names; absent that file,
+// a directory holding exactly one model auto-designates it (the
+// single-model dpsgd→dpserve path), and otherwise the caller picks one
+// with SetLive. dir == "" gives an in-memory registry.
 func NewRegistry(dir string) (*Registry, error) {
-	r := &Registry{dir: dir, models: map[string]*Model{}}
+	r := &Registry{dir: dir, models: map[string]*Model{}, seen: map[string]fileStamp{}}
 	if dir == "" {
 		return r, nil
 	}
@@ -146,7 +194,19 @@ func NewRegistry(dir string) (*Registry, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			// A crashed publish left its temp behind. Only sweep temps
+			// demonstrably stale: a live concurrent publisher's temp is
+			// seconds old at most and must survive.
+			if fi, err := e.Info(); err == nil && time.Since(fi.ModTime()) > tmpSweepAge {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), ".json") {
 			continue
 		}
 		name := strings.TrimSuffix(e.Name(), ".json")
@@ -163,15 +223,62 @@ func NewRegistry(dir string) (*Registry, error) {
 		// the process restart as every model's publish time.
 		if fi, err := e.Info(); err == nil {
 			m.Published = fi.ModTime()
+			r.seen[name] = fileStamp{mtime: fi.ModTime(), size: fi.Size()}
 		}
 		r.models[name] = m
 	}
-	if len(r.models) == 1 {
+	// The persisted designation wins; the single-model rule is the
+	// back-compat fallback for directories that predate it (or whose
+	// designation file was removed).
+	if name, ok := r.readLiveFile(); ok {
+		if m := r.models[name]; m != nil {
+			r.live.Store(m)
+		}
+	}
+	if r.live.Load() == nil && len(r.models) == 1 {
 		for _, m := range r.models {
 			r.live.Store(m)
 		}
 	}
 	return r, nil
+}
+
+// readLiveFile reads the live designation from the registry directory.
+func (r *Registry) readLiveFile() (string, bool) {
+	b, err := os.ReadFile(filepath.Join(r.dir, liveFile))
+	if err != nil {
+		return "", false
+	}
+	name := strings.TrimSpace(string(b))
+	return name, name != ""
+}
+
+// writeLiveFile persists the live designation atomically (same
+// temp+rename discipline as model files). Callers hold mu.
+func (r *Registry) writeLiveFile(name string) error {
+	f, err := os.CreateTemp(r.dir, liveFile+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.WriteString(name + "\n"); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(r.dir, liveFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
 }
 
 // ValidModelName rejects names that cannot double as registry file
@@ -187,9 +294,18 @@ func ValidModelName(name string) error {
 	return nil
 }
 
-// Publish registers (or replaces) the named version, persists it when
-// the registry is directory-backed, and hot-swaps it live. In-flight
-// predictions against the previous live model finish on that model.
+// Publish registers (or replaces) the named version and persists it
+// when the registry is directory-backed.
+//
+// Whether the new version goes live is a policy, not an unconditional
+// side effect: a registry with no live model adopts the published one
+// (the single-model dpsgd→dpserve path keeps working with zero
+// ceremony), and a republish of the current live *name* follows it
+// (the live designation names a version, not a pointer). Any other
+// publish leaves traffic untouched — promotion is an explicit SetLive
+// or a canary rollout (SetCanary → PromoteCanary), so publishing a new
+// version into a multi-model registry can never steal 100% of traffic
+// as a surprise.
 //
 // The persist step runs under mu: that ties on-disk rename order to
 // in-memory registration order, so concurrent publishes of one name
@@ -205,9 +321,9 @@ func (r *Registry) Publish(name string, c eval.Classifier, meta map[string]strin
 		return nil, err
 	}
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.dir != "" {
 		if err := r.persist(m); err != nil {
-			r.mu.Unlock()
 			return nil, err
 		}
 	}
@@ -215,17 +331,26 @@ func (r *Registry) Publish(name string, c eval.Classifier, meta map[string]strin
 	// The live store happens inside the critical section too, so
 	// concurrent same-name publishes cannot leave live pointing at a
 	// superseded version the map and disk no longer hold.
-	r.live.Store(m)
-	r.mu.Unlock()
+	if cur := r.live.Load(); cur == nil || cur.Name == name {
+		if r.dir != "" {
+			if err := r.writeLiveFile(name); err != nil {
+				return nil, err
+			}
+		}
+		r.live.Store(m)
+	}
 	return m, nil
 }
 
 // persist writes the model file atomically: a same-directory temp file
 // renamed into place, so a crash mid-write never leaves a torn file
-// for the next NewRegistry to trip over. The temp name is unique per
-// call (os.CreateTemp), so concurrent publishers of the same name —
-// goroutines or separate dpsgd -publish processes — cannot interleave
-// writes; last rename wins with both files intact.
+// for the next NewRegistry to trip over (at worst it leaves a stale
+// *.tmp, which the next NewRegistry sweeps). The temp name is unique
+// per call (os.CreateTemp), so concurrent publishers of the same name
+// — goroutines or separate dpsgd -publish processes — cannot
+// interleave writes; last rename wins with both files intact. Callers
+// hold mu; on success r.seen records the renamed file's stamp so the
+// watch diff does not reload the registry's own writes.
 func (r *Registry) persist(m *Model) error {
 	f, err := os.CreateTemp(r.dir, m.Name+".*.tmp")
 	if err != nil {
@@ -244,20 +369,31 @@ func (r *Registry) persist(m *Model) error {
 		os.Remove(tmp)
 		return fmt.Errorf("serve: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(r.dir, m.Name+".json")); err != nil {
+	final := filepath.Join(r.dir, m.Name+".json")
+	if err := os.Rename(tmp, final); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("serve: %w", err)
+	}
+	if fi, err := os.Stat(final); err == nil {
+		r.seen[m.Name] = fileStamp{mtime: fi.ModTime(), size: fi.Size()}
 	}
 	return nil
 }
 
-// SetLive hot-swaps the live model to the named version.
+// SetLive hot-swaps the live model to the named version and, on a
+// directory-backed registry, persists the designation so watching
+// replicas follow the swap.
 func (r *Registry) SetLive(name string) (*Model, error) {
-	r.mu.RLock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	m := r.models[name]
-	r.mu.RUnlock()
 	if m == nil {
-		return nil, fmt.Errorf("serve: no model %q (have %v)", name, r.Names())
+		return nil, fmt.Errorf("serve: no model %q (have %v)", name, r.namesLocked())
+	}
+	if r.dir != "" {
+		if err := r.writeLiveFile(name); err != nil {
+			return nil, err
+		}
 	}
 	r.live.Store(m)
 	return m, nil
@@ -268,6 +404,16 @@ func (r *Registry) SetLive(name string) (*Model, error) {
 // prediction hot path.
 func (r *Registry) Live() *Model {
 	return r.live.Load()
+}
+
+// Snapshot returns the live model and version count from one registry
+// state. Because every live.Store happens under mu, reading both under
+// the read lock cannot pair a model count with a live name the map
+// never held together — the consistency /healthz reports rely on.
+func (r *Registry) Snapshot() (live *Model, models int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.live.Load(), len(r.models)
 }
 
 // Get returns the named version.
@@ -281,11 +427,16 @@ func (r *Registry) Get(name string) (*Model, bool) {
 // Names returns the registered version names in sorted order.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
+	out := r.namesLocked()
+	r.mu.RUnlock()
+	return out
+}
+
+func (r *Registry) namesLocked() []string {
 	out := make([]string, 0, len(r.models))
 	for name := range r.models {
 		out = append(out, name)
 	}
-	r.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -307,4 +458,14 @@ func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.models)
+}
+
+// logf routes operational log lines through Logf (or the standard
+// logger when unset).
+func (r *Registry) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+		return
+	}
+	stdlog(format, args...)
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"boltondp/internal/eval"
 	"boltondp/internal/vec"
@@ -41,13 +42,29 @@ func TestRegistryPublishGetLive(t *testing.T) {
 	if got, ok := r.Get("a"); !ok || got != m {
 		t.Error("Get(a) missing")
 	}
-	// A second publish hot-swaps; SetLive swaps back.
+	// A second publish under a new name does NOT steal live: promotion
+	// is explicit (SetLive or canary promotion).
 	m2, err := r.Publish("b", linear(4, 2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if r.Live() != m {
+		t.Error("publish of a new name stole the live designation")
+	}
+	if _, err := r.SetLive("b"); err != nil {
+		t.Fatal(err)
+	}
 	if r.Live() != m2 {
-		t.Error("second publish not live")
+		t.Error("SetLive(b) did not swap")
+	}
+	// Republishing the live *name* follows: the designation names a
+	// version, not a pointer.
+	m2b, err := r.Publish("b", linear(4, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Live() != m2b {
+		t.Error("republish of the live name did not follow")
 	}
 	if _, err := r.SetLive("a"); err != nil {
 		t.Fatal(err)
@@ -117,8 +134,9 @@ func TestRegistryPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A fresh registry over the same directory sees both versions, with
-	// no live model auto-selected (two candidates are ambiguous).
+	// A fresh registry over the same directory sees both versions and
+	// follows the persisted live designation: "digits" went live on
+	// first publish (empty registry) and "fraud" never stole it.
 	r2, err := NewRegistry(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -126,8 +144,8 @@ func TestRegistryPersistence(t *testing.T) {
 	if r2.Len() != 2 {
 		t.Fatalf("reloaded %d models, want 2", r2.Len())
 	}
-	if r2.Live() != nil {
-		t.Error("ambiguous live model auto-selected")
+	if r2.Live() == nil || r2.Live().Name != "digits" {
+		t.Error("persisted live designation not followed on reload")
 	}
 	m, err := r2.SetLive("digits")
 	if err != nil {
@@ -146,6 +164,19 @@ func TestRegistryPersistence(t *testing.T) {
 		t.Errorf("meta %v", m.Meta)
 	}
 
+	// Without a designation file (models copied into a fresh dir), two
+	// candidates are ambiguous: no live model is auto-selected.
+	if err := os.Remove(filepath.Join(dir, liveFile)); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Live() != nil {
+		t.Error("ambiguous live model auto-selected without a designation")
+	}
+
 	// A single-model directory auto-selects its only model.
 	solo := t.TempDir()
 	rs, err := NewRegistry(solo)
@@ -161,6 +192,33 @@ func TestRegistryPersistence(t *testing.T) {
 	}
 	if rs2.Live() == nil || rs2.Live().Name != "only" {
 		t.Error("single model not auto-live after reload")
+	}
+}
+
+// TestRegistrySweepsStaleTempFiles: a crashed publish's leftover temp
+// file is removed at open — but only once it is demonstrably stale, so
+// a concurrent publisher's live temp survives the sweep.
+func TestRegistrySweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "crashed.1234.tmp")
+	fresh := filepath.Join(dir, "inflight.5678.tmp")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial model write"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpSweepAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived the sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("concurrent publisher's fresh temp file was swept")
 	}
 }
 
@@ -240,9 +298,10 @@ func TestRegistryHotSwapRace(t *testing.T) {
 		go func(g int) {
 			defer writerWG.Done()
 			for k := 1; k <= versions; k++ {
-				// Writers alternate between publishing fresh versions
-				// (under distinct names) and re-pointing live at an old
-				// one — both swap paths stay hot.
+				// Writers alternate between promoting fresh versions
+				// (publish + SetLive, since publish alone no longer
+				// steals live) and re-pointing live at an old one —
+				// both swap paths stay hot.
 				if k%3 == 0 {
 					if _, err := r.SetLive("v"); err != nil {
 						t.Error(err)
@@ -252,6 +311,10 @@ func TestRegistryHotSwapRace(t *testing.T) {
 				}
 				name := fmt.Sprintf("v%d-%d", g, k)
 				if _, err := r.Publish(name, linear(dim, float64(k)), nil); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := r.SetLive(name); err != nil {
 					t.Error(err)
 					return
 				}

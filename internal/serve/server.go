@@ -133,6 +133,50 @@ func ctxDead(ctx context.Context) bool {
 	return ctx != nil && ctx.Err() != nil
 }
 
+// canaryRouter carries an active canary rollout into a batch scoring
+// loop: rows whose hash bucket falls under the rollout percentage
+// score on the canary model (with per-row fallback to the primary on
+// canary failure — a broken canary degrades the rollout, never the
+// request). See canary.go for the full contract.
+type canaryRouter struct {
+	cs *canaryState
+}
+
+// scoreSparse scores one canary-routed coordinate row, falling back to
+// the primary when the canary cannot score it.
+func (rt *canaryRouter) scoreSparse(primary *Model, idx []int, val []float64, f32 bool) (float64, error) {
+	rt.cs.rows.Add(1)
+	y, err := rt.cs.model.scoreSparseTier(idx, val, f32)
+	if err == nil {
+		return y, nil
+	}
+	rt.cs.errors.Add(1)
+	return primary.scoreSparseTier(idx, val, f32)
+}
+
+// scoreRow scores one canary-routed wire row with the same fallback.
+func (rt *canaryRouter) scoreRow(primary *Model, row *Row) (float64, error) {
+	rt.cs.rows.Add(1)
+	y, err := rt.cs.model.Score(row)
+	if err == nil {
+		return y, nil
+	}
+	rt.cs.errors.Add(1)
+	return primary.Score(row)
+}
+
+// routes reports whether this row hashes under the rollout percentage.
+func (rt *canaryRouter) routesSparse(idx []int, val []float64) bool {
+	return rowBucket(idx, val) < rt.cs.pct
+}
+
+func (rt *canaryRouter) routesRow(row *Row) bool {
+	if row.X != nil {
+		return rowBucketDense(row.X) < rt.cs.pct
+	}
+	return rowBucket(row.Idx, row.Val) < rt.cs.pct
+}
+
 // ScoreBatch scores decoded rows across up to workers goroutines. The
 // model is immutable and each goroutine writes a disjoint range of the
 // output, so the fan-out needs no locking.
@@ -181,7 +225,7 @@ func (m *Model) ScoreBatchCSR(indptr, idx []int, val []float64, workers int) ([]
 // full-precision tier; the float32 tier the batch handler defaults to
 // is ScoreBatchCSRF32Ctx.
 func (m *Model) ScoreBatchCSRCtx(ctx context.Context, indptr, idx []int, val []float64, workers int) ([]float64, error) {
-	return m.scoreBatchCSR(ctx, indptr, idx, val, workers, false)
+	return m.scoreBatchCSR(ctx, indptr, idx, val, workers, false, nil)
 }
 
 // ScoreBatchCSRF32 scores a columnar sparse batch through the float32
@@ -190,15 +234,15 @@ func (m *Model) ScoreBatchCSRCtx(ctx context.Context, indptr, idx []int, val []f
 // the full-precision tier except on rows whose margin magnitude is
 // within weight-quantization distance of the decision boundary.
 func (m *Model) ScoreBatchCSRF32(indptr, idx []int, val []float64, workers int) ([]float64, error) {
-	return m.scoreBatchCSR(context.Background(), indptr, idx, val, workers, true)
+	return m.scoreBatchCSR(context.Background(), indptr, idx, val, workers, true, nil)
 }
 
 // ScoreBatchCSRF32Ctx is ScoreBatchCSRF32 bound to a context.
 func (m *Model) ScoreBatchCSRF32Ctx(ctx context.Context, indptr, idx []int, val []float64, workers int) ([]float64, error) {
-	return m.scoreBatchCSR(ctx, indptr, idx, val, workers, true)
+	return m.scoreBatchCSR(ctx, indptr, idx, val, workers, true, nil)
 }
 
-func (m *Model) scoreBatchCSR(ctx context.Context, indptr, idx []int, val []float64, workers int, f32 bool) ([]float64, error) {
+func (m *Model) scoreBatchCSR(ctx context.Context, indptr, idx []int, val []float64, workers int, f32 bool, rt *canaryRouter) ([]float64, error) {
 	if len(idx) != len(val) {
 		return nil, fmt.Errorf("idx/val length mismatch %d != %d", len(idx), len(val))
 	}
@@ -216,7 +260,13 @@ func (m *Model) scoreBatchCSR(ctx context.Context, indptr, idx []int, val []floa
 			if a < 0 || a > b || b > len(idx) {
 				return fmt.Errorf("row %d: indptr not monotone", i)
 			}
-			y, err := m.scoreSparseTier(idx[a:b], val[a:b], f32)
+			var y float64
+			var err error
+			if rt != nil && rt.routesSparse(idx[a:b], val[a:b]) {
+				y, err = rt.scoreSparse(m, idx[a:b], val[a:b], f32)
+			} else {
+				y, err = m.scoreSparseTier(idx[a:b], val[a:b], f32)
+			}
 			if err != nil {
 				return fmt.Errorf("row %d: %w", i, err)
 			}
@@ -234,7 +284,7 @@ func (m *Model) scoreBatchCSR(ctx context.Context, indptr, idx []int, val []floa
 // only the request frame, and the per-row JSON decoding — the dominant
 // per-row cost of this form — is fanned out across the scoring workers
 // together with the arithmetic.
-func (m *Model) scoreBatchRaw(ctx context.Context, rows []json.RawMessage, workers int) ([]float64, error) {
+func (m *Model) scoreBatchRaw(ctx context.Context, rows []json.RawMessage, workers int, rt *canaryRouter) ([]float64, error) {
 	labels := make([]float64, len(rows))
 	err := fanOut(ctx, len(rows), workers, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
@@ -249,7 +299,13 @@ func (m *Model) scoreBatchRaw(ctx context.Context, rows []json.RawMessage, worke
 			if err := dec.Decode(&row); err != nil {
 				return fmt.Errorf("row %d: %w", i, err)
 			}
-			y, err := m.Score(&row)
+			var y float64
+			var err error
+			if rt != nil && rt.routesRow(&row) {
+				y, err = rt.scoreRow(m, &row)
+			} else {
+				y, err = m.Score(&row)
+			}
 			if err != nil {
 				return fmt.Errorf("row %d: %w", i, err)
 			}
@@ -295,6 +351,37 @@ type Config struct {
 	// Single-row /predict and the row-object batch form always score
 	// at full precision.
 	Float64Batch bool
+
+	// MaxInflight bounds the scoring requests running at once; 0 (the
+	// default) leaves admission unlimited. When set, up to MaxQueue
+	// more requests wait for a slot and everything beyond that is shed
+	// with 429 + Retry-After (see admission.go).
+	MaxInflight int
+	// MaxQueue bounds the admission queue (default: MaxInflight).
+	MaxQueue int
+	// QueueTimeout bounds how long a request may wait for a scoring
+	// slot before being shed (default 1s).
+	QueueTimeout time.Duration
+
+	// DisableMetrics turns off /metrics and the per-request
+	// instrumentation — the baseline the overhead gate measures
+	// against. Production servers leave it off.
+	DisableMetrics bool
+
+	// CanaryErrorRate is the canary auto-rollback threshold: once the
+	// active rollout has scored at least CanaryMinRows rows, an
+	// error rate above this fraction rolls the canary back (default
+	// 0.05). See canary.go.
+	CanaryErrorRate float64
+	// CanaryMinRows is the sample floor before the rollback gate can
+	// fire (default 200) — a single early failure must not kill a
+	// rollout the way it would at n=1.
+	CanaryMinRows int
+
+	// Logf, when set, receives operational log lines (truncated
+	// responses, canary rollbacks); nil logs through the standard
+	// library logger.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -307,33 +394,78 @@ func (c Config) withDefaults() Config {
 	if c.MaxBody < 1 {
 		c.MaxBody = 32 << 20
 	}
+	if c.MaxInflight > 0 {
+		if c.MaxQueue < 1 {
+			c.MaxQueue = c.MaxInflight
+		}
+		if c.QueueTimeout <= 0 {
+			c.QueueTimeout = time.Second
+		}
+	}
+	if c.CanaryErrorRate <= 0 {
+		c.CanaryErrorRate = 0.05
+	}
+	if c.CanaryMinRows < 1 {
+		c.CanaryMinRows = 200
+	}
 	return c
 }
 
-// Server is the HTTP prediction service over a registry. It holds no
-// mutable state of its own: all synchronization lives in the registry.
+// Server is the HTTP prediction service over a registry. Scoring
+// synchronization lives in the registry; the server's own state is
+// observability (metrics) and the admission gate.
 type Server struct {
-	reg *Registry
-	cfg Config
+	reg     *Registry
+	cfg     Config
+	metrics *Metrics
+	adm     *admission
+
+	// testHookScoring, when set by a test, runs inside the scoring
+	// handlers while the admission slot is held — the deterministic
+	// stand-in for a slow batch in the overload tests.
+	testHookScoring func()
 }
 
 // New builds a prediction service over the registry.
 func New(reg *Registry, cfg Config) *Server {
-	return &Server{reg: reg, cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	s := &Server{reg: reg, cfg: cfg, adm: newAdmission(cfg)}
+	if !cfg.DisableMetrics {
+		s.metrics = &Metrics{}
+	}
+	return s
+}
+
+// logf routes operational log lines through Config.Logf (or the
+// standard logger when unset).
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+		return
+	}
+	stdlog(format, args...)
 }
 
 // Handler returns the service's route table:
 //
 //	POST /predict        {"x":[...]} or {"idx":[...],"val":[...]} (+"model")
 //	POST /predict/batch  {"rows":[...]} or columnar {"indptr":[...],"idx":[...],"val":[...]} (+"model")
-//	GET  /healthz        load-balancer health: 200 iff a live model is set
-//	GET  /modelz         registry introspection
+//	GET  /healthz        load-balancer health: 200 iff a live model is set; reports shed-state
+//	GET  /modelz         registry introspection (incl. the active canary)
+//	GET  /metrics        Prometheus text exposition
+//
+// The scoring routes sit behind the admission gate (when configured);
+// the introspection routes never do — an overloaded replica must stay
+// observable.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /predict", s.handlePredict)
-	mux.HandleFunc("POST /predict/batch", s.handleBatch)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /modelz", s.handleModelz)
+	mux.HandleFunc("POST /predict", s.instrument("predict", s.admit(s.handlePredict)))
+	mux.HandleFunc("POST /predict/batch", s.instrument("predict_batch", s.admit(s.handleBatch)))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /modelz", s.instrument("modelz", s.handleModelz))
+	if s.metrics != nil {
+		mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	}
 	return mux
 }
 
@@ -366,9 +498,10 @@ type batchResponse struct {
 }
 
 type healthResponse struct {
-	Status string `json:"status"`
-	Live   string `json:"live,omitempty"`
-	Models int    `json:"models"`
+	Status    string          `json:"status"`
+	Live      string          `json:"live,omitempty"`
+	Models    int             `json:"models"`
+	Admission *admissionState `json:"admission,omitempty"`
 }
 
 type modelInfo struct {
@@ -376,8 +509,17 @@ type modelInfo struct {
 	Dim       int               `json:"dim"`
 	Classes   int               `json:"classes"`
 	Live      bool              `json:"live"`
+	Canary    bool              `json:"canary,omitempty"`
 	Published time.Time         `json:"published"`
 	Meta      map[string]string `json:"meta,omitempty"`
+}
+
+// canaryInfo is the /modelz view of the active rollout.
+type canaryInfo struct {
+	Model  string `json:"model"`
+	Pct    int    `json:"pct"`
+	Rows   uint64 `json:"rows"`
+	Errors uint64 `json:"errors"`
 }
 
 type modelzResponse struct {
@@ -385,6 +527,7 @@ type modelzResponse struct {
 	// BatchTier is the precision tier the columnar /predict/batch path
 	// scores at: "float32" (default) or "float64" (Config.Float64Batch).
 	BatchTier string      `json:"batchTier"`
+	Canary    *canaryInfo `json:"canary,omitempty"`
 	Models    []modelInfo `json:"models"`
 }
 
@@ -409,7 +552,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
@@ -422,15 +565,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	m, code, err := s.model(req.Model)
 	if err != nil {
-		httpError(w, code, "%v", err)
+		s.httpError(w, code, "%v", err)
 		return
+	}
+	if s.testHookScoring != nil {
+		s.testHookScoring()
 	}
 	y, err := m.Score(&req.Row)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, predictResponse{Model: m.Name, Label: y})
+	s.writeJSON(w, http.StatusOK, predictResponse{Model: m.Name, Label: y})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -440,35 +586,50 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	csr := req.Indptr != nil || req.Idx != nil || req.Val != nil
 	if csr && req.Rows != nil {
-		httpError(w, http.StatusBadRequest, `batch has both "rows" and columnar form`)
+		s.httpError(w, http.StatusBadRequest, `batch has both "rows" and columnar form`)
 		return
 	}
 	n := len(req.Rows)
 	if csr {
 		if len(req.Indptr) == 0 {
-			httpError(w, http.StatusBadRequest, `columnar batch is missing "indptr"`)
+			s.httpError(w, http.StatusBadRequest, `columnar batch is missing "indptr"`)
 			return
 		}
 		n = len(req.Indptr) - 1
 	}
 	if n <= 0 {
-		httpError(w, http.StatusBadRequest, "empty batch")
+		s.httpError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
 	if n > s.cfg.MaxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d rows exceeds limit %d", n, s.cfg.MaxBatch)
+		s.httpError(w, http.StatusRequestEntityTooLarge, "batch of %d rows exceeds limit %d", n, s.cfg.MaxBatch)
 		return
 	}
 	m, code, err := s.model(req.Model)
 	if err != nil {
-		httpError(w, code, "%v", err)
+		s.httpError(w, code, "%v", err)
 		return
+	}
+	if s.testHookScoring != nil {
+		s.testHookScoring()
+	}
+	// Canary routing applies only to live-model batches: a request
+	// naming an explicit version gets exactly that version.
+	var rt *canaryRouter
+	var cs *canaryState
+	if req.Model == "" {
+		if cs = s.reg.canary.Load(); cs != nil && cs.pct > 0 {
+			rt = &canaryRouter{cs: cs}
+		}
 	}
 	var labels []float64
 	if csr {
-		labels, err = m.scoreBatchCSR(r.Context(), req.Indptr, req.Idx, req.Val, s.cfg.Workers, !s.cfg.Float64Batch)
+		labels, err = m.scoreBatchCSR(r.Context(), req.Indptr, req.Idx, req.Val, s.cfg.Workers, !s.cfg.Float64Batch, rt)
 	} else {
-		labels, err = m.scoreBatchRaw(r.Context(), req.Rows, s.cfg.Workers)
+		labels, err = m.scoreBatchRaw(r.Context(), req.Rows, s.cfg.Workers, rt)
+	}
+	if cs != nil {
+		s.maybeRollback(cs)
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -477,24 +638,57 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// shutdown (BaseContext cancellation) the connection is
 			// still open — silence here would surface as a 200 with an
 			// empty body, which a client would misread as success.
-			httpError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+			s.httpError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, batchResponse{Model: m.Name, Labels: labels})
+	if s.metrics != nil {
+		s.metrics.batchRows.Add(uint64(n))
+	}
+	s.writeJSON(w, http.StatusOK, batchResponse{Model: m.Name, Labels: labels})
+}
+
+// maybeRollback fires the canary auto-rollback once the active rollout
+// has enough sample and its error rate crosses the configured
+// threshold. The registry-side compare-and-swap makes the check
+// idempotent across concurrent batches.
+func (s *Server) maybeRollback(cs *canaryState) {
+	rows := cs.rows.Load()
+	if rows < uint64(s.cfg.CanaryMinRows) {
+		return
+	}
+	errs := cs.errors.Load()
+	if float64(errs) <= s.cfg.CanaryErrorRate*float64(rows) {
+		return
+	}
+	if s.reg.rollbackCanary(cs) {
+		if s.metrics != nil {
+			s.metrics.canaryRollbacks.Add(1)
+		}
+		s.logf("serve: canary %q rolled back: %d of %d routed rows errored (threshold %.3f)",
+			cs.model.Name, errs, rows, s.cfg.CanaryErrorRate)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	resp := healthResponse{Models: s.reg.Len()}
-	if m := s.reg.Live(); m != nil {
-		resp.Status, resp.Live = "ok", m.Name
-		writeJSON(w, http.StatusOK, resp)
+	// One registry snapshot: the model count and live name must come
+	// from the same registry state (a publish landing between two
+	// separate reads could pair models:0 with a live name).
+	live, models := s.reg.Snapshot()
+	resp := healthResponse{Models: models}
+	if s.adm != nil {
+		st := s.adm.state()
+		resp.Admission = &st
+	}
+	if live != nil {
+		resp.Status, resp.Live = "ok", live.Name
+		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	resp.Status = "no live model"
-	writeJSON(w, http.StatusServiceUnavailable, resp)
+	s.writeJSON(w, http.StatusServiceUnavailable, resp)
 }
 
 func (s *Server) handleModelz(w http.ResponseWriter, _ *http.Request) {
@@ -503,21 +697,36 @@ func (s *Server) handleModelz(w http.ResponseWriter, _ *http.Request) {
 	if live != nil {
 		resp.Live = live.Name
 	}
+	cm, pct, rows, errs := s.reg.Canary()
+	if cm != nil {
+		resp.Canary = &canaryInfo{Model: cm.Name, Pct: pct, Rows: rows, Errors: errs}
+	}
 	for _, m := range s.reg.Models() {
 		resp.Models = append(resp.Models, modelInfo{
 			Name: m.Name, Dim: m.Dim, Classes: m.Classes,
-			Live: m == live, Published: m.Published, Meta: m.Meta,
+			Live: m == live, Canary: cm != nil && m.Name == cm.Name,
+			Published: m.Published, Meta: m.Meta,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes a JSON response. An Encode failure after the
+// headers went out cannot change the status line anymore, but it must
+// not be invisible either: the client received a truncated body that
+// will fail to parse, and the operator needs to know that happened —
+// it is counted (dpserve_response_encode_errors_total) and logged.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		if s.metrics != nil {
+			s.metrics.encodeErrors.Add(1)
+		}
+		s.logf("serve: %d response truncated mid-body: %v", code, err)
+	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

@@ -27,6 +27,10 @@ func testServer(t *testing.T, cfg Config) (*Registry, http.Handler) {
 	if _, err := reg.Publish("lin", &eval.Linear{W: []float64{1, 1, -1, -1}}, map[string]string{"epsilon": "0.1"}); err != nil {
 		t.Fatal(err)
 	}
+	// Publishing into a non-empty registry no longer steals live.
+	if _, err := reg.SetLive("lin"); err != nil {
+		t.Fatal(err)
+	}
 	return reg, New(reg, cfg).Handler()
 }
 
@@ -266,6 +270,57 @@ func TestHealthzAndModelz(t *testing.T) {
 	}
 }
 
+// TestHealthzSnapshotConsistency hammers /healthz while models publish
+// and swap concurrently (run under -race). The handler reads the live
+// model and the version count in one registry snapshot, so no response
+// may ever pair a live name with a model count from a different
+// registry state — concretely: a reported live model implies a
+// non-zero model count.
+func TestHealthzSnapshotConsistency(t *testing.T) {
+	reg, err := NewRegistry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(reg, Config{MaxInflight: 4}).Handler()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 100; k++ {
+			name := fmt.Sprintf("v%d", k%5)
+			if _, err := reg.Publish(name, &eval.Linear{W: []float64{1, 1}}, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := reg.SetLive(name); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				w, out := do(t, h, "GET", "/healthz", "")
+				if w.Code != http.StatusOK && w.Code != http.StatusServiceUnavailable {
+					t.Errorf("healthz status %d", w.Code)
+					return
+				}
+				live, _ := out["live"].(string)
+				models, _ := out["models"].(float64)
+				if live != "" && models < 1 {
+					t.Errorf("torn snapshot: live %q with %v models", live, models)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // TestServePredictDuringHotSwap drives the full HTTP path concurrently
 // with hot-swaps: every response must come from a coherent model
 // version (label ±1 for the all-equal-weight Linears involved).
@@ -316,6 +371,14 @@ func TestServePredictDuringHotSwap(t *testing.T) {
 			if _, err := reg.Publish("swap", &eval.Linear{W: []float64{sign, sign, sign, sign}}, nil); err != nil {
 				t.Error(err)
 				return
+			}
+			if k == 0 {
+				// First publish needs explicit promotion; every
+				// republish of the now-live name follows automatically.
+				if _, err := reg.SetLive("swap"); err != nil {
+					t.Error(err)
+					return
+				}
 			}
 		}
 	}()

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"boltondp/internal/eval"
+)
+
+// TestWatchTwoReplicaConvergence is the replication acceptance test:
+// two independent Registry instances ("replicas") over one shared
+// directory, where one publishes and swaps and the other only ever
+// scans. Every publisher-side transition must be observable on the
+// follower after one Refresh — publishes, explicit live swaps,
+// republishes of the live name, and deletions.
+func TestWatchTwoReplicaConvergence(t *testing.T) {
+	dir := t.TempDir()
+	pub, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First publish into the empty registry goes live on the publisher
+	// and, after one scan, on the follower.
+	if _, err := pub.Publish("m1", linear(4, 1), map[string]string{"epsilon": "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 1 || sub.Live() == nil || sub.Live().Name != "m1" {
+		t.Fatalf("after first publish: len=%d live=%v", sub.Len(), sub.Live())
+	}
+	if sub.Live().Meta["epsilon"] != "1" {
+		t.Errorf("replicated meta: %v", sub.Live().Meta)
+	}
+
+	// A second publish replicates as a named version but must NOT move
+	// the follower's live model (same policy as a local publish).
+	if _, err := pub.Publish("m2", linear(4, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 || sub.Live().Name != "m1" {
+		t.Fatalf("after second publish: len=%d live=%q", sub.Len(), sub.Live().Name)
+	}
+
+	// An explicit swap on the publisher replicates through the
+	// designation file.
+	if _, err := pub.SetLive("m2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Live().Name != "m2" {
+		t.Fatalf("after SetLive(m2): follower live %q", sub.Live().Name)
+	}
+
+	// Republishing the live name swaps the follower to the new weights.
+	if _, err := pub.Publish("m2", linear(4, -2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if w := sub.Live().Classifier.(*eval.Linear).W[0]; w != -2 {
+		t.Fatalf("republished live weights not followed: w[0]=%v", w)
+	}
+
+	// A deleted model file drops from the follower's map — but a
+	// vanished designation target never un-designates the live model
+	// (serving the last good model beats serving nothing).
+	if err := os.Remove(filepath.Join(dir, "m1.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 1 {
+		t.Fatalf("after deleting m1: len=%d", sub.Len())
+	}
+	if _, ok := sub.Get("m1"); ok {
+		t.Error("deleted model still registered")
+	}
+	if err := os.Remove(filepath.Join(dir, "m2.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Live() == nil || sub.Live().Name != "m2" {
+		t.Error("live model un-designated by file deletion")
+	}
+}
+
+// TestWatchGoroutineConvergence drives the actual Watch loop: a
+// follower polling at a short interval converges on a publish + swap
+// without any explicit Refresh call.
+func TestWatchGoroutineConvergence(t *testing.T) {
+	dir := t.TempDir()
+	pub, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- sub.WatchEvery(ctx, 5*time.Millisecond) }()
+
+	if _, err := pub.Publish("hot", linear(2, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := sub.Live(); m != nil && m.Name == "hot" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower did not converge on the publish")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Errorf("Watch returned %v, want context.Canceled", err)
+	}
+}
+
+// TestWatchSkipsCorruptFileAndRetries pins the failure policy: a model
+// file that fails to load is reported and skipped — the rest of the
+// scan still applies — and a subsequent scan picks up the repaired
+// file.
+func TestWatchSkipsCorruptFileAndRetries(t *testing.T) {
+	dir := t.TempDir()
+	pub, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish("good", linear(2, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Refresh(); err == nil {
+		t.Error("corrupt file did not surface in the scan error")
+	}
+	if _, ok := sub.Get("good"); !ok {
+		t.Error("corrupt file blocked the rest of the scan")
+	}
+	// Repair: publish a real model under the broken name.
+	if _, err := pub.Publish("broken", linear(2, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Refresh(); err != nil {
+		t.Fatalf("repaired file still erroring: %v", err)
+	}
+	if _, ok := sub.Get("broken"); !ok {
+		t.Error("repaired file not loaded on retry")
+	}
+}
+
+// TestWatchInMemoryRejected: there is no directory to watch.
+func TestWatchInMemoryRejected(t *testing.T) {
+	r, err := NewRegistry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Watch(context.Background()); err == nil {
+		t.Error("Watch accepted an in-memory registry")
+	}
+	if err := r.Refresh(); err == nil {
+		t.Error("Refresh accepted an in-memory registry")
+	}
+}
+
+// TestWatchDesignationWithoutModel: a live designation naming a model
+// the scan has not loaded yet (publish raced ahead of the designation's
+// target on a different replica) applies on the tick that sees the
+// model, not before.
+func TestWatchDesignationWithoutModel(t *testing.T) {
+	dir := t.TempDir()
+	sub, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, liveFile), []byte("future\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Live() != nil {
+		t.Fatal("designation applied before its model exists")
+	}
+	pub, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish("future", linear(2, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Live() == nil || sub.Live().Name != "future" {
+		t.Error("designation not applied once its model arrived")
+	}
+}
