@@ -47,6 +47,7 @@ import (
 	"math/rand"
 
 	"boltondp/internal/account"
+	"boltondp/internal/account/compose"
 	"boltondp/internal/baselines"
 	"boltondp/internal/bismarck"
 	"boltondp/internal/core"
@@ -240,6 +241,28 @@ const LedgerMetaKey = account.MetaKey
 // with Accountant.StampMeta.
 func NewAccountant(total Budget) (*Accountant, error) { return account.New(total) }
 
+// Composition rules an Accountant can price reservations under (see
+// DESIGN.md §11): AccountingSimple is linear (ε, δ) summation — the
+// default and the pre-existing behavior, bit-identical ledgers;
+// AccountingAdvanced composes heterogeneous releases by the
+// Kairouz–Oh–Viswanath bound; AccountingRDP tracks per-order Rényi
+// curves and converts to (ε, δ) only at spend time — the tightest rule,
+// and the one per-step gradient perturbation is priced under.
+const (
+	AccountingSimple   = compose.RuleSimple
+	AccountingAdvanced = compose.RuleAdvanced
+	AccountingRDP      = compose.RuleRDP
+)
+
+// NewAccountantWithRule returns an accountant whose reservations are
+// priced under the named composition rule ("simple", "advanced",
+// "rdp"; "" means simple). The rule travels in the ledger and through
+// model metadata, so a served model's /modelz record states which
+// composition theorem justified its spend.
+func NewAccountantWithRule(rule string, total Budget) (*Accountant, error) {
+	return account.NewWithRule(rule, total)
+}
+
 // ParseLedger decodes a ledger serialized by Accountant.StampMeta.
 func ParseLedger(s string) (*Ledger, error) { return account.ParseLedger(s) }
 
@@ -304,6 +327,22 @@ func WithProgress(fn func(epoch int, risk float64)) TrainOption { return core.Wi
 // escape hatch for fields without a dedicated option (step family,
 // averaging, Tol, …). Place it before the other options.
 func WithTrainOptions(base TrainOptions) TrainOption { return core.WithOptions(base) }
+
+// WithAccounting names the composition rule the run is priced under
+// (AccountingSimple, AccountingAdvanced, AccountingRDP). With an
+// accountant attached the two must agree.
+func WithAccounting(rule string) TrainOption { return core.WithAccounting(rule) }
+
+// WithGradPerturb switches training to the gradient-perturbation
+// strategy (DP-SGD): per-example gradients clipped to clip, Gaussian
+// noise at multiplier noiseMultiplier (σ̃, in units of the 2·clip
+// sensitivity) added to every summed mini-batch gradient, and the cost
+// accounted per step through the subsampled-Gaussian machinery (default
+// rule AccountingRDP). Pass noiseMultiplier = 0 to solve the smallest
+// σ̃ that fits the budget. Sequential-only; needs δ > 0.
+func WithGradPerturb(clip, noiseMultiplier float64) TrainOption {
+	return core.WithGradPerturb(clip, noiseMultiplier)
+}
 
 // Train runs the bolt-on private PSGD appropriate for the loss:
 // Algorithm 2 when the loss is strongly convex, Algorithm 1 otherwise.

@@ -5,25 +5,30 @@
 // The paper's own workflows compose many private releases — the private
 // tuning procedure of Algorithm 3 trains one candidate per grid point,
 // the one-vs-all construction of §4.3 trains one binary model per class
-// — and their end-to-end guarantee is the simple-composition sum of the
-// pieces ([17] in the paper): running computations A₁…A_n with budgets
-// (ε₁, δ₁)…(ε_n, δ_n) on the same dataset is (Σεᵢ, Σδᵢ)-differentially
-// private. dp.Budget.Split hands a caller equal shares under that
-// theorem, but nothing stops a buggy caller from splitting twice, or
-// from spending a share and the whole.
+// — and their end-to-end guarantee is the composition of the pieces.
+// How the pieces compose is pluggable (internal/account/compose): the
+// historical rule is simple composition ([17] in the paper — ε and δ
+// both sum), and the accountant can instead run Kairouz-style advanced
+// composition or a Rényi (RDP) accountant, which price the same
+// sequence of releases strictly tighter. dp.Budget.Split hands a caller
+// equal shares under the simple theorem, but nothing stops a buggy
+// caller from splitting twice, or from spending a share and the whole.
 //
 // The Accountant closes that hole structurally:
 //
-//   - it owns the total budget and debits every Reserve/Split against
-//     the remainder under simple composition;
-//   - it FAILS CLOSED — a request that would push the cumulative spend
-//     past the total returns ErrOverdraw and debits nothing, so an
-//     over-budget training run errors before it touches a single row;
+//   - it owns the total budget and debits every reservation against the
+//     remainder under its composition rule;
+//   - it FAILS CLOSED — a request whose composed price would push the
+//     cumulative spend past the total returns ErrOverdraw and debits
+//     nothing, so an over-budget training run errors before it touches
+//     a single row;
 //   - every successful debit is recorded in an auditable ledger that
 //     travels with the released model (eval.SaveClassifier metadata,
 //     serve.Registry.Publish, the /modelz endpoint), so the privacy
 //     statement a model file carries is the accountant's record, not a
-//     hand-maintained string.
+//     hand-maintained string. The ledger carries the composition rule
+//     and its per-rule state, and its serialized form is byte-identical
+//     to the pre-compose accountant's under the simple rule.
 //
 // Accountants are safe for concurrent use: sharded training strategies
 // and parallel tuning candidates may draw from one accountant from
@@ -37,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"boltondp/internal/account/compose"
 	"boltondp/internal/dp"
 )
 
@@ -49,7 +55,11 @@ var ErrOverdraw = errors.New("account: reservation exceeds the remaining privacy
 // their parent even though ε/n summed n times can exceed ε by rounding.
 const slack = 1e-9
 
-// Entry is one audited spend in an accountant's ledger.
+// Entry is one audited spend in an accountant's ledger. Its Epsilon and
+// Delta record the release's STANDALONE guarantee (its simple-
+// composition price); under the advanced and rdp rules the ledger's
+// cumulative spend can therefore be smaller than the entry sum — the
+// rule name and rule state record how the sequence composed.
 type Entry struct {
 	// Label says what the spend paid for, e.g. "train(logistic(λ=0.001))"
 	// or "tune". Labels need not be unique.
@@ -57,6 +67,17 @@ type Entry struct {
 	// Epsilon and Delta are the debited budget.
 	Epsilon float64 `json:"epsilon"`
 	Delta   float64 `json:"delta,omitempty"`
+	// Kind tags the mechanism family of a curve-capable reservation
+	// ("pure", "gaussian", "sgm"); empty for plain fixed grants and for
+	// every reservation under the simple rule (which has no use for
+	// mechanism structure) except sgm runs, which always record detail.
+	Kind string `json:"kind,omitempty"`
+	// Sigma, Q and Steps are the mechanism detail of a gaussian or sgm
+	// reservation: noise multiplier σ̃ = σ/Δ, sampling fraction, and
+	// invocation count.
+	Sigma float64 `json:"sigma,omitempty"`
+	Q     float64 `json:"q,omitempty"`
+	Steps int     `json:"steps,omitempty"`
 	// At is when the reservation was granted.
 	At time.Time `json:"at"`
 }
@@ -65,22 +86,34 @@ type Entry struct {
 func (e Entry) Budget() dp.Budget { return dp.Budget{Epsilon: e.Epsilon, Delta: e.Delta} }
 
 // Accountant owns a total (ε, δ) budget and debits every reservation
-// against it under simple composition. The zero value is unusable; use
-// New.
+// against it under a pluggable composition rule (simple by default).
+// The zero value is unusable; use New or NewWithRule.
 type Accountant struct {
-	mu       sync.Mutex
-	total    dp.Budget
-	spentEps float64
-	spentDel float64
-	entries  []Entry
+	mu        sync.Mutex
+	total     dp.Budget
+	comp      compose.Composer
+	entries   []Entry
+	exhausted bool // Split drained the accountant to exactly its total
 }
 
-// New returns an accountant owning the given total budget.
+// New returns an accountant owning the given total budget under simple
+// composition — the historical rule; its ledgers and admission
+// decisions are bit-identical to the pre-compose accountant's.
 func New(total dp.Budget) (*Accountant, error) {
+	return NewWithRule(compose.RuleSimple, total)
+}
+
+// NewWithRule returns an accountant owning the given total budget under
+// the named composition rule ("" or "simple" | "advanced" | "rdp").
+func NewWithRule(rule string, total dp.Budget) (*Accountant, error) {
 	if err := total.Validate(); err != nil {
 		return nil, err
 	}
-	return &Accountant{total: total}, nil
+	c, err := compose.New(rule)
+	if err != nil {
+		return nil, err
+	}
+	return &Accountant{total: total, comp: c}, nil
 }
 
 // MustNew is New for statically-correct budgets; it panics on error.
@@ -92,6 +125,9 @@ func MustNew(total dp.Budget) *Accountant {
 	return a
 }
 
+// Rule returns the accountant's composition rule name.
+func (a *Accountant) Rule() string { return a.comp.Rule() }
+
 // Total returns the budget the accountant was created with.
 func (a *Accountant) Total() dp.Budget {
 	a.mu.Lock()
@@ -99,16 +135,27 @@ func (a *Accountant) Total() dp.Budget {
 	return a.total
 }
 
-// Spent returns the cumulative debited budget (simple composition:
-// both ε and δ sum across reservations).
+// Spent returns the cumulative spend as priced by the accountant's
+// composition rule (under simple: both ε and δ sum across
+// reservations; advanced and rdp can report less for the same
+// reservations).
 func (a *Accountant) Spent() dp.Budget {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return dp.Budget{Epsilon: a.spentEps, Delta: a.spentDel}
+	return a.spentLocked()
 }
 
-// Remaining returns the budget still available for reservations,
-// clamped at zero.
+func (a *Accountant) spentLocked() dp.Budget {
+	if a.exhausted {
+		return a.total
+	}
+	return a.comp.Spent(a.total)
+}
+
+// Remaining returns the largest single fixed (ε, δ) reservation still
+// admissible, clamped at zero. Under the simple rule this is exactly
+// total − spent; the non-linear rules can leave more headroom than the
+// linear remainder suggests.
 func (a *Accountant) Remaining() dp.Budget {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -116,41 +163,82 @@ func (a *Accountant) Remaining() dp.Budget {
 }
 
 func (a *Accountant) remainingLocked() dp.Budget {
-	rem := dp.Budget{
-		Epsilon: a.total.Epsilon - a.spentEps,
-		Delta:   a.total.Delta - a.spentDel,
+	if a.exhausted {
+		return dp.Budget{}
 	}
-	if rem.Epsilon < 0 {
-		rem.Epsilon = 0
-	}
-	if rem.Delta < 0 {
-		rem.Delta = 0
-	}
-	return rem
+	return compose.Headroom(a.comp, a.total, slack)
 }
 
 // Reserve debits b from the remaining budget and records the spend
-// under label. It fails closed: when the request would exceed the
-// remainder (in ε or in δ) it returns an error wrapping ErrOverdraw and
-// debits nothing. A granted reservation is never refunded — the
-// accountant records intent to release, which is the conservative
-// reading of the composition theorem.
+// under label. It fails closed: when the composed price of the spends
+// so far plus this request would exceed the total (in ε or in δ) it
+// returns an error wrapping ErrOverdraw and debits nothing. A granted
+// reservation is never refunded — the accountant records intent to
+// release, which is the conservative reading of the composition
+// theorem.
 func (a *Accountant) Reserve(label string, b dp.Budget) error {
 	if err := b.Validate(); err != nil {
 		return err
 	}
+	return a.admit(label, compose.Fixed(b))
+}
+
+// ReservePure debits a pure ε-DP release (exponential mechanism,
+// Laplace / Gamma-sphere output perturbation). Under the rdp rule pure
+// releases compose on their Rényi curve, which is strictly cheaper than
+// their fixed price once there is more than one of them.
+func (a *Accountant) ReservePure(label string, eps float64) error {
+	return a.admit(label, compose.Pure(eps))
+}
+
+// ReserveGaussian debits steps invocations of the Gaussian mechanism at
+// noise multiplier sigma = σ/Δ₂ whose stated per-run guarantee is b
+// (what the linear rules charge; the rdp rule prices the multiplier
+// directly and charges whichever of its candidates is tightest).
+func (a *Accountant) ReserveGaussian(label string, sigma float64, steps int, b dp.Budget) error {
+	return a.admit(label, compose.Gaussian(sigma, steps, b))
+}
+
+// ReserveSubsampledGaussian debits steps invocations of the subsampled
+// Gaussian mechanism (sampling fraction q, noise multiplier sigma) —
+// the DP-SGD gradient-perturbation spend. deltaCharge is the total δ
+// the run charges under the linear rules; the rdp rule converts its
+// Rényi curve at the accountant's total δ instead.
+func (a *Accountant) ReserveSubsampledGaussian(label string, sigma, q float64, steps int, deltaCharge float64) error {
+	return a.admit(label, compose.SGM(sigma, q, steps, deltaCharge))
+}
+
+// admit trial-prices the event on a clone of the composer, fails closed
+// on overdraw, and otherwise commits the event and its ledger entry.
+func (a *Accountant) admit(label string, ev compose.Event) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	price := ev.LinearPrice()
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if exceeds(a.spentEps+b.Epsilon, a.total.Epsilon) || exceeds(a.spentDel+b.Delta, a.total.Delta) {
+	trial := a.comp.Clone()
+	trial.Add(ev)
+	s := trial.Spent(a.total)
+	if a.exhausted || exceeds(s.Epsilon, a.total.Epsilon) || exceeds(s.Delta, a.total.Delta) {
 		rem := a.remainingLocked()
 		return fmt.Errorf("%w: requested %v for %q, remaining %v of total %v",
-			ErrOverdraw, b, label, rem, a.total)
+			ErrOverdraw, price, label, rem, a.total)
 	}
-	a.spentEps += b.Epsilon
-	a.spentDel += b.Delta
-	a.entries = append(a.entries, Entry{
-		Label: label, Epsilon: b.Epsilon, Delta: b.Delta, At: time.Now(),
-	})
+	a.comp.Add(ev)
+	e := Entry{Label: label, Epsilon: price.Epsilon, Delta: price.Delta, At: time.Now()}
+	// Mechanism detail rides along whenever a rule can use it: always
+	// for sgm runs (they exist only through this machinery), and for
+	// pure/gaussian reservations under the curve-capable rules. Under
+	// simple, pure and gaussian grants downgrade to plain fixed entries
+	// so simple ledgers keep their historical byte layout.
+	if ev.Kind == compose.KindSGM || (a.comp.Rule() != compose.RuleSimple && ev.Kind != compose.KindFixed) {
+		e.Kind = string(ev.Kind)
+		e.Sigma = ev.Sigma
+		e.Q = ev.Q
+		e.Steps = ev.Steps
+	}
+	a.entries = append(a.entries, e)
 	return nil
 }
 
@@ -164,9 +252,11 @@ func exceeds(spent, limit float64) bool {
 // Split reserves n equal child budgets drawn from the ENTIRE remaining
 // budget — the simple-composition split the paper's §4.3 prescribes for
 // one-vs-all sub-models, with the accountant enforcing that the pieces
-// sum to the stated guarantee. Each child is Remaining()/n; the whole
-// remainder is debited in one ledger entry per child (labelled
-// "label[i/n]"). After a successful Split the accountant is exhausted.
+// sum to the stated guarantee. Each child is Remaining()/n (under the
+// non-linear rules the remainder is the composed headroom, so the
+// children are bigger for free); the whole remainder is debited in one
+// ledger entry per child (labelled "label[i/n]"). After a successful
+// Split the accountant is exhausted.
 func (a *Accountant) Split(label string, n int) ([]dp.Budget, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("account: Split over %d parts", n)
@@ -176,21 +266,21 @@ func (a *Accountant) Split(label string, n int) ([]dp.Budget, error) {
 	rem := a.remainingLocked()
 	if rem.Epsilon <= 0 {
 		return nil, fmt.Errorf("%w: Split(%q, %d) with no remaining budget (total %v, spent %v)",
-			ErrOverdraw, label, n, a.total, dp.Budget{Epsilon: a.spentEps, Delta: a.spentDel})
+			ErrOverdraw, label, n, a.total, a.spentLocked())
 	}
 	child := rem.Split(n)
 	out := make([]dp.Budget, n)
 	now := time.Now()
 	for i := range out {
 		out[i] = child
+		a.comp.Add(compose.Fixed(child))
 		a.entries = append(a.entries, Entry{
 			Label: fmt.Sprintf("%s[%d/%d]", label, i+1, n), Epsilon: child.Epsilon, Delta: child.Delta, At: now,
 		})
 	}
-	// Debit the remainder exactly, not child×n, so rounding can never
+	// Exhaust to the total exactly, not child×n, so rounding can never
 	// leave a sliver that a later reservation stretches past the total.
-	a.spentEps = a.total.Epsilon
-	a.spentDel = a.total.Delta
+	a.exhausted = true
 	return out, nil
 }
 
@@ -202,14 +292,19 @@ func (a *Accountant) Split(label string, n int) ([]dp.Budget, error) {
 // (eval.SaveClassifier meta, serve registry files, /modelz responses).
 const MetaKey = "dp.ledger"
 
-// Ledger is the serializable snapshot of an accountant: the total
-// budget, the cumulative spend, and every granted reservation.
+// Ledger is the serializable snapshot of an accountant: the composition
+// rule, the total budget, the cumulative composed spend, every granted
+// reservation, and the rule's own composition state. Under the simple
+// rule the Rule and RuleState fields are empty and omitted, so simple
+// ledgers serialize byte-identically to the pre-compose accountant's.
 type Ledger struct {
-	TotalEpsilon float64 `json:"total_epsilon"`
-	TotalDelta   float64 `json:"total_delta,omitempty"`
-	SpentEpsilon float64 `json:"spent_epsilon"`
-	SpentDelta   float64 `json:"spent_delta,omitempty"`
-	Entries      []Entry `json:"entries"`
+	Rule         string          `json:"rule,omitempty"`
+	TotalEpsilon float64         `json:"total_epsilon"`
+	TotalDelta   float64         `json:"total_delta,omitempty"`
+	SpentEpsilon float64         `json:"spent_epsilon"`
+	SpentDelta   float64         `json:"spent_delta,omitempty"`
+	Entries      []Entry         `json:"entries"`
+	RuleState    json.RawMessage `json:"rule_state,omitempty"`
 }
 
 // Total returns the ledger's total budget.
@@ -217,15 +312,17 @@ func (l *Ledger) Total() dp.Budget {
 	return dp.Budget{Epsilon: l.TotalEpsilon, Delta: l.TotalDelta}
 }
 
-// Spent returns the ledger's cumulative spend.
+// Spent returns the ledger's cumulative spend under its rule.
 func (l *Ledger) Spent() dp.Budget {
 	return dp.Budget{Epsilon: l.SpentEpsilon, Delta: l.SpentDelta}
 }
 
 // Same reports whether two ledgers record the same privacy spends:
-// equal totals, equal cumulative spend, and entry-for-entry equal
-// reservations (label, ε, δ — grant timestamps are execution detail,
-// not part of the privacy statement). It is the equality the
+// equal composition rule (an absent rule IS the simple rule), equal
+// totals, equal cumulative spend, and entry-for-entry equal
+// reservations (label, ε, δ, mechanism detail — grant timestamps are
+// execution detail, not part of the privacy statement; RuleState is
+// derived from the entries and not compared). It is the equality the
 // distributed-training parity contract pins: a coordinator/worker run
 // must produce a ledger Same as its single-process counterpart's, so
 // distributing a run can never change what was spent or what the spend
@@ -234,6 +331,9 @@ func (l *Ledger) Same(o *Ledger) bool {
 	if l == nil || o == nil {
 		return l == o
 	}
+	if compose.Normalize(l.Rule) != compose.Normalize(o.Rule) {
+		return false
+	}
 	if l.TotalEpsilon != o.TotalEpsilon || l.TotalDelta != o.TotalDelta ||
 		l.SpentEpsilon != o.SpentEpsilon || l.SpentDelta != o.SpentDelta ||
 		len(l.Entries) != len(o.Entries) {
@@ -241,7 +341,8 @@ func (l *Ledger) Same(o *Ledger) bool {
 	}
 	for i := range l.Entries {
 		a, b := l.Entries[i], o.Entries[i]
-		if a.Label != b.Label || a.Epsilon != b.Epsilon || a.Delta != b.Delta {
+		if a.Label != b.Label || a.Epsilon != b.Epsilon || a.Delta != b.Delta ||
+			a.Kind != b.Kind || a.Sigma != b.Sigma || a.Q != b.Q || a.Steps != b.Steps {
 			return false
 		}
 	}
@@ -252,10 +353,15 @@ func (l *Ledger) Same(o *Ledger) bool {
 func (a *Accountant) Ledger() *Ledger {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	spent := a.spentLocked()
 	l := &Ledger{
 		TotalEpsilon: a.total.Epsilon, TotalDelta: a.total.Delta,
-		SpentEpsilon: a.spentEps, SpentDelta: a.spentDel,
+		SpentEpsilon: spent.Epsilon, SpentDelta: spent.Delta,
 		Entries: make([]Entry, len(a.entries)),
+	}
+	if rule := a.comp.Rule(); rule != compose.RuleSimple {
+		l.Rule = rule
+		l.RuleState = a.comp.State()
 	}
 	copy(l.Entries, a.entries)
 	return l

@@ -1,0 +1,374 @@
+package account
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"boltondp/internal/account/compose"
+	"boltondp/internal/dp"
+)
+
+func mustRule(t *testing.T, rule string, total dp.Budget) *Accountant {
+	t.Helper()
+	a, err := NewWithRule(rule, total)
+	if err != nil {
+		t.Fatalf("NewWithRule(%q): %v", rule, err)
+	}
+	return a
+}
+
+func TestNewWithRule(t *testing.T) {
+	total := dp.Budget{Epsilon: 1, Delta: 1e-6}
+	for _, rule := range compose.Rules() {
+		a := mustRule(t, rule, total)
+		if a.Rule() != rule {
+			t.Errorf("Rule() = %q, want %q", a.Rule(), rule)
+		}
+	}
+	if a := MustNew(total); a.Rule() != compose.RuleSimple {
+		t.Errorf("New defaults to rule %q, want simple", a.Rule())
+	}
+	if _, err := NewWithRule("moments", total); err == nil {
+		t.Error("NewWithRule accepted an unknown rule")
+	}
+}
+
+// TestSimpleLedgerGolden pins the exact serialized byte layout of a
+// simple-rule ledger — the back-compat contract: no rule field, no rule
+// state, no mechanism detail on fixed grants, identical to the
+// pre-compose accountant's output.
+func TestSimpleLedgerGolden(t *testing.T) {
+	a := MustNew(dp.Budget{Epsilon: 2, Delta: 1e-6})
+	if err := a.Reserve("train", dp.Budget{Epsilon: 1, Delta: 1e-6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReservePure("tune", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	l := a.Ledger()
+	for i := range l.Entries {
+		l.Entries[i].At = time.Time{}
+	}
+	got, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"total_epsilon":2,"total_delta":0.000001,"spent_epsilon":1.5,"spent_delta":0.000001,` +
+		`"entries":[{"label":"train","epsilon":1,"delta":0.000001,"at":"0001-01-01T00:00:00Z"},` +
+		`{"label":"tune","epsilon":0.5,"at":"0001-01-01T00:00:00Z"}]}`
+	if string(got) != golden {
+		t.Fatalf("simple ledger bytes drifted:\n got %s\nwant %s", got, golden)
+	}
+}
+
+// TestAdvancedLedgerGolden pins the shape of an advanced-rule ledger:
+// rule name, per-release entries with mechanism detail, composed spend
+// no larger than the entry sum, and the KOV state fields present.
+func TestAdvancedLedgerGolden(t *testing.T) {
+	a := mustRule(t, compose.RuleAdvanced, dp.Budget{Epsilon: 20, Delta: 1e-6})
+	for i := 0; i < 40; i++ {
+		if err := a.ReservePure("class", 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := a.Ledger()
+	if l.Rule != compose.RuleAdvanced {
+		t.Fatalf("ledger rule %q", l.Rule)
+	}
+	if len(l.Entries) != 40 {
+		t.Fatalf("entries %d", len(l.Entries))
+	}
+	for _, e := range l.Entries {
+		if e.Kind != string(compose.KindPure) || e.Epsilon != 0.1 || e.Delta != 0 {
+			t.Fatalf("entry %+v: want pure ε=0.1 detail", e)
+		}
+	}
+	if sum := 40 * 0.1; l.SpentEpsilon >= sum {
+		t.Fatalf("advanced spend %v not below linear sum %v", l.SpentEpsilon, sum)
+	}
+	var st struct {
+		KOVLinear *float64 `json:"kov_linear"`
+		KOVSquare *float64 `json:"kov_square"`
+		SumDelta  *float64 `json:"sum_delta"`
+	}
+	if err := json.Unmarshal(l.RuleState, &st); err != nil {
+		t.Fatalf("rule_state: %v", err)
+	}
+	if st.KOVLinear == nil || st.KOVSquare == nil || math.Abs(*st.KOVSquare-40*0.1*0.1) > 1e-12 {
+		t.Fatalf("rule_state %s lacks the KOV sums", l.RuleState)
+	}
+}
+
+// TestRDPLedgerGolden pins the shape of an rdp-rule ledger: rule name,
+// full sgm mechanism detail on the entry, a per-order curve in the rule
+// state over the published order grid, and a composed spend far below
+// the entry's standalone price.
+func TestRDPLedgerGolden(t *testing.T) {
+	total := dp.Budget{Epsilon: 20, Delta: 1e-6}
+	a := mustRule(t, compose.RuleRDP, total)
+	if err := a.ReserveSubsampledGaussian("train", 1.0, 1e-4, 1000, total.Delta); err != nil {
+		t.Fatal(err)
+	}
+	l := a.Ledger()
+	if l.Rule != compose.RuleRDP {
+		t.Fatalf("ledger rule %q", l.Rule)
+	}
+	e := l.Entries[0]
+	if e.Kind != string(compose.KindSGM) || e.Sigma != 1.0 || e.Q != 1e-4 || e.Steps != 1000 {
+		t.Fatalf("sgm entry lost mechanism detail: %+v", e)
+	}
+	if !(l.SpentEpsilon > 0 && l.SpentEpsilon < 0.5*e.Epsilon) {
+		t.Fatalf("rdp spend %v vs standalone entry price %v", l.SpentEpsilon, e.Epsilon)
+	}
+	var st struct {
+		Orders []float64 `json:"orders"`
+		Eps    []float64 `json:"eps"`
+	}
+	if err := json.Unmarshal(l.RuleState, &st); err != nil {
+		t.Fatalf("rule_state: %v", err)
+	}
+	if len(st.Orders) != len(compose.Orders()) || len(st.Eps) != len(st.Orders) {
+		t.Fatalf("rule_state curve %d orders / %d eps, want %d", len(st.Orders), len(st.Eps), len(compose.Orders()))
+	}
+}
+
+// TestLedgerRoundTripPerRule: StampMeta → LedgerFromMeta must preserve
+// rule, spends, entries and rule state under every rule, and the
+// round-tripped ledger must be Same as the original.
+func TestLedgerRoundTripPerRule(t *testing.T) {
+	total := dp.Budget{Epsilon: 20, Delta: 1e-6}
+	for _, rule := range compose.Rules() {
+		a := mustRule(t, rule, total)
+		if err := a.Reserve("fixed", dp.Budget{Epsilon: 0.5, Delta: 1e-8}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.ReserveSubsampledGaussian("sgm", 1.2, 1e-3, 100, 1e-7); err != nil {
+			t.Fatal(err)
+		}
+		meta := map[string]string{}
+		if err := a.StampMeta(meta); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := LedgerFromMeta(meta)
+		if err != nil || !ok {
+			t.Fatalf("%s: LedgerFromMeta ok=%v err=%v", rule, ok, err)
+		}
+		if !got.Same(a.Ledger()) {
+			t.Errorf("%s: round-tripped ledger differs", rule)
+		}
+		if compose.Normalize(got.Rule) != rule {
+			t.Errorf("%s: round-tripped rule %q", rule, got.Rule)
+		}
+	}
+}
+
+// TestLedgerSameAcrossRules: the same workload admitted under different
+// rules is NOT the same privacy statement — Same must distinguish the
+// rules, and an absent rule field must equal an explicit "simple".
+func TestLedgerSameAcrossRules(t *testing.T) {
+	total := dp.Budget{Epsilon: 20, Delta: 1e-6}
+	ledgers := map[string]*Ledger{}
+	for _, rule := range compose.Rules() {
+		a := mustRule(t, rule, total)
+		if err := a.ReservePure("x", 0.3); err != nil {
+			t.Fatal(err)
+		}
+		ledgers[rule] = a.Ledger()
+	}
+	if ledgers["simple"].Same(ledgers["advanced"]) || ledgers["advanced"].Same(ledgers["rdp"]) {
+		t.Error("Same conflated ledgers from different rules")
+	}
+	// "" rule ≡ "simple".
+	explicit := *ledgers["simple"]
+	explicit.Rule = "simple"
+	if !ledgers["simple"].Same(&explicit) {
+		t.Error(`Same distinguished rule "" from "simple"`)
+	}
+	// Mechanism detail is part of the statement.
+	a1 := mustRule(t, compose.RuleRDP, total)
+	a2 := mustRule(t, compose.RuleRDP, total)
+	if err := a1.ReserveSubsampledGaussian("t", 1.0, 1e-3, 100, 1e-7); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.ReserveSubsampledGaussian("t", 1.0, 2e-3, 100, 1e-7); err != nil {
+		t.Fatal(err)
+	}
+	if a1.Ledger().Same(a2.Ledger()) {
+		t.Error("Same ignored sgm sampling-fraction detail")
+	}
+}
+
+// TestFailClosedPerRule: under every rule, a reservation whose composed
+// price exceeds the total must wrap ErrOverdraw and debit nothing.
+func TestFailClosedPerRule(t *testing.T) {
+	for _, rule := range compose.Rules() {
+		total := dp.Budget{Epsilon: 1, Delta: 1e-6}
+		a := mustRule(t, rule, total)
+		if err := a.Reserve("ok", dp.Budget{Epsilon: 0.6}); err != nil {
+			t.Fatalf("%s: %v", rule, err)
+		}
+		before := a.Spent()
+		err := a.Reserve("too-much", dp.Budget{Epsilon: 0.6})
+		if !errors.Is(err, ErrOverdraw) {
+			t.Fatalf("%s: want ErrOverdraw, got %v", rule, err)
+		}
+		if !strings.Contains(err.Error(), "too-much") {
+			t.Errorf("%s: overdraw error lacks the label: %v", rule, err)
+		}
+		if a.Spent() != before {
+			t.Errorf("%s: failed reservation debited the budget", rule)
+		}
+		if len(a.Ledger().Entries) != 1 {
+			t.Errorf("%s: failed reservation left a ledger entry", rule)
+		}
+	}
+}
+
+// TestSGMOverdrawFailsClosedPerRule: a gradient-perturbation run too
+// noisy-cheap for its budget must be refused before any spend, under
+// every rule — including rdp, where the refusal happens at the
+// converted price, not the (much larger) linear one.
+func TestSGMOverdrawFailsClosedPerRule(t *testing.T) {
+	for _, rule := range compose.Rules() {
+		total := dp.Budget{Epsilon: 0.05, Delta: 1e-6}
+		a := mustRule(t, rule, total)
+		err := a.ReserveSubsampledGaussian("train", 1.0, 1e-4, 1000, total.Delta)
+		if !errors.Is(err, ErrOverdraw) {
+			t.Fatalf("%s: want ErrOverdraw for an over-budget sgm run, got %v", rule, err)
+		}
+		if s := a.Spent(); s.Epsilon != 0 {
+			t.Errorf("%s: refused sgm run debited ε=%v", rule, s.Epsilon)
+		}
+	}
+	// And the rdp rule must ADMIT the same run against a budget simple
+	// refuses — the whole point of the tighter rule.
+	total := dp.Budget{Epsilon: 1, Delta: 1e-6}
+	simple := mustRule(t, compose.RuleSimple, total)
+	rdp := mustRule(t, compose.RuleRDP, total)
+	if err := simple.ReserveSubsampledGaussian("train", 1.0, 1e-4, 1000, total.Delta); !errors.Is(err, ErrOverdraw) {
+		t.Fatalf("simple admitted a run worth ε≈11: %v", err)
+	}
+	if err := rdp.ReserveSubsampledGaussian("train", 1.0, 1e-4, 1000, total.Delta); err != nil {
+		t.Fatalf("rdp refused a run its rule prices under ε=1: %v", err)
+	}
+}
+
+// TestConcurrentReservationsPerRule hammers one accountant from many
+// goroutines under every rule: the admitted composed spend must never
+// exceed the total, failures must all be overdraws, and the ledger must
+// record exactly the admitted reservations.
+func TestConcurrentReservationsPerRule(t *testing.T) {
+	for _, rule := range compose.Rules() {
+		total := dp.Budget{Epsilon: 1, Delta: 1e-6}
+		a := mustRule(t, rule, total)
+		const workers = 32
+		var wg sync.WaitGroup
+		granted := make(chan struct{}, workers)
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := a.ReservePure("w", 0.09); err == nil {
+					granted <- struct{}{}
+				} else if !errors.Is(err, ErrOverdraw) {
+					t.Errorf("%s: non-overdraw failure: %v", rule, err)
+				}
+			}()
+		}
+		wg.Wait()
+		close(granted)
+		n := len(granted)
+		s := a.Spent()
+		if exceeds(s.Epsilon, total.Epsilon) || exceeds(s.Delta, total.Delta) {
+			t.Errorf("%s: concurrent admits overdrew: spent %v of %v", rule, s, total)
+		}
+		if len(a.Ledger().Entries) != n {
+			t.Errorf("%s: %d grants but %d ledger entries", rule, n, len(a.Ledger().Entries))
+		}
+		if n == 0 {
+			t.Errorf("%s: nothing admitted", rule)
+		}
+		// The tighter rules must fund at least as many grants.
+		t.Logf("%s: %d/%d grants of ε=0.09 admitted (spent %v)", rule, n, workers, s)
+	}
+}
+
+// TestSplitUsesComposedHeadroom: after a cheap-under-rdp spend, Split
+// must hand out children from the composed headroom (bigger than the
+// linear remainder), and exhaust the accountant under every rule.
+func TestSplitUsesComposedHeadroom(t *testing.T) {
+	total := dp.Budget{Epsilon: 10, Delta: 1e-6}
+	for _, rule := range compose.Rules() {
+		a := mustRule(t, rule, total)
+		if err := a.ReserveSubsampledGaussian("warm", 2.0, 1e-3, 200, 1e-7); err != nil {
+			t.Fatalf("%s: %v", rule, err)
+		}
+		rem := a.Remaining()
+		kids, err := a.Split("ova", 4)
+		if err != nil {
+			t.Fatalf("%s: Split: %v", rule, err)
+		}
+		if len(kids) != 4 || kids[0].Epsilon <= 0 {
+			t.Fatalf("%s: children %+v", rule, kids)
+		}
+		if got := 4 * kids[0].Epsilon; got > rem.Epsilon*(1+1e-9) {
+			t.Errorf("%s: children ε sum %v exceeds pre-split headroom %v", rule, got, rem.Epsilon)
+		}
+		if s := a.Spent(); s != total {
+			t.Errorf("%s: Split left spent=%v, want exhausted to %v", rule, s, total)
+		}
+		if err := a.Reserve("late", dp.Budget{Epsilon: 1e-9}); !errors.Is(err, ErrOverdraw) {
+			t.Errorf("%s: post-Split reservation admitted: %v", rule, err)
+		}
+		if r := a.Remaining(); r.Epsilon != 0 || r.Delta != 0 {
+			t.Errorf("%s: post-Split remaining %v", rule, r)
+		}
+	}
+	// The rdp headroom after the same sgm spend must strictly beat
+	// simple's (the run's standalone price is ≈19.7, so the total must
+	// afford it even under the linear rule).
+	big := dp.Budget{Epsilon: 30, Delta: 1e-6}
+	simple := mustRule(t, compose.RuleSimple, big)
+	rdp := mustRule(t, compose.RuleRDP, big)
+	for _, a := range []*Accountant{simple, rdp} {
+		if err := a.ReserveSubsampledGaussian("warm", 1.0, 1e-4, 1000, 1e-7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !(rdp.Remaining().Epsilon > simple.Remaining().Epsilon) {
+		t.Errorf("rdp headroom %v not above simple %v after the same sgm spend",
+			rdp.Remaining(), simple.Remaining())
+	}
+}
+
+// TestReserveValidation: the mechanism-aware reservations reject
+// malformed events before touching the lock or the ledger.
+func TestReserveValidation(t *testing.T) {
+	a := mustRule(t, compose.RuleRDP, dp.Budget{Epsilon: 1, Delta: 1e-6})
+	cases := []error{
+		a.ReservePure("p", 0),
+		a.ReservePure("p", -1),
+		a.ReserveGaussian("g", 0, 10, dp.Budget{Epsilon: 1, Delta: 1e-8}),
+		a.ReserveGaussian("g", 1, 0, dp.Budget{Epsilon: 1, Delta: 1e-8}),
+		a.ReserveSubsampledGaussian("s", 1, 0, 10, 1e-7),
+		a.ReserveSubsampledGaussian("s", 1, 2, 10, 1e-7),
+		a.ReserveSubsampledGaussian("s", 1, 0.1, 0, 1e-7),
+		a.ReserveSubsampledGaussian("s", 1, 0.1, 10, 0),
+	}
+	for i, err := range cases {
+		if err == nil {
+			t.Errorf("case %d: invalid reservation admitted", i)
+		}
+		if errors.Is(err, ErrOverdraw) {
+			t.Errorf("case %d: validation failure misreported as overdraw: %v", i, err)
+		}
+	}
+	if len(a.Ledger().Entries) != 0 {
+		t.Error("invalid reservations left ledger entries")
+	}
+}

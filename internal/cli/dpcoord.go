@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"boltondp/internal/account"
+	"boltondp/internal/account/compose"
 	"boltondp/internal/core"
 	"boltondp/internal/dist"
 	"boltondp/internal/dp"
@@ -37,6 +38,9 @@ type DPCoordConfig struct {
 	Passes    int
 	Batch     int
 	Shards    int // 0 = one shard per worker
+	// Accounting is the privacy-composition rule the run's accountant
+	// prices reservations under (-accounting simple|advanced|rdp).
+	Accounting string
 	// KernelWorkers is the intra-batch parallelism degree each dist
 	// worker applies inside its shard (-kernel-workers; 1 =
 	// sequential). Bit-identical output for every value.
@@ -67,6 +71,7 @@ func ParseDPCoord(args []string, stderr io.Writer) (*DPCoordConfig, error) {
 	fs.IntVar(&cfg.Passes, "passes", 10, "passes over the data (k)")
 	fs.IntVar(&cfg.Batch, "batch", 50, "mini-batch size (b)")
 	fs.IntVar(&cfg.Shards, "shards", 0, "shard count P (0 = one per worker)")
+	fs.StringVar(&cfg.Accounting, "accounting", "", "privacy composition rule: simple|advanced|rdp (default simple)")
 	fs.IntVar(&cfg.KernelWorkers, "kernel-workers", 1, "per-worker intra-batch SGD parallelism (bit-identical to 1 at any value)")
 	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	fs.IntVar(&cfg.Retries, "retries", 2, "same-worker retries per request before reassigning the shard")
@@ -102,6 +107,11 @@ func ParseDPCoord(args []string, stderr io.Writer) (*DPCoordConfig, error) {
 	}
 	if cfg.EpochTimeout < 0 || cfg.Timeout < 0 {
 		return nil, errors.New("cli: -epoch-timeout and -timeout must be >= 0")
+	}
+	if cfg.Accounting != "" {
+		if _, err := compose.New(compose.Normalize(cfg.Accounting)); err != nil {
+			return nil, fmt.Errorf("cli: -accounting must be one of %v, got %q", compose.Rules(), cfg.Accounting)
+		}
 	}
 	return cfg, nil
 }
@@ -205,7 +215,8 @@ func RunDPCoordCtx(ctx context.Context, cfg *DPCoordConfig, out io.Writer) error
 		radius = 1 / cfg.Lambda
 	}
 	budget := dp.Budget{Epsilon: cfg.Eps, Delta: cfg.Delta}
-	acct, err := account.New(budget)
+	rule := compose.Normalize(cfg.Accounting)
+	acct, err := account.NewWithRule(rule, budget)
 	if err != nil {
 		return err
 	}
@@ -214,7 +225,7 @@ func RunDPCoordCtx(ctx context.Context, cfg *DPCoordConfig, out io.Writer) error
 		src.Rows(), src.Dim(), f.Name(), budget, shards, len(cfg.Workers), coord.Workers())
 
 	res, err := core.TrainDistributed(ctx, coord, src, f,
-		core.WithAccountant(acct),
+		core.WithAccountant(acct), core.WithAccounting(rule),
 		core.WithPasses(cfg.Passes), core.WithBatch(cfg.Batch), core.WithRadius(radius),
 		core.WithStrategy(engine.Sharded, shards),
 		core.WithKernelWorkers(cfg.KernelWorkers),
@@ -229,6 +240,8 @@ func RunDPCoordCtx(ctx context.Context, cfg *DPCoordConfig, out io.Writer) error
 	for _, es := range evalSets {
 		fmt.Fprintf(out, "%s accuracy: %.4f\n", es.tag, eval.Accuracy(es.samples, model))
 	}
+	sp := acct.Spent()
+	fmt.Fprintf(out, "accounting: rule=%s  spent ε=%.6g δ=%g\n", acct.Rule(), sp.Epsilon, sp.Delta)
 
 	meta := map[string]string{
 		"algorithm": "ours-dist",

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"boltondp/internal/account"
+	"boltondp/internal/account/compose"
 	"boltondp/internal/baselines"
 	"boltondp/internal/core"
 	"boltondp/internal/data"
@@ -44,6 +45,14 @@ type DPSGDConfig struct {
 	Batch     int
 	Strategy  string
 	Workers   int
+	// Accounting is the privacy-composition rule the run's accountant
+	// prices reservations under (-accounting simple|advanced|rdp).
+	Accounting string
+	// Clip and NoiseMult configure -strategy gradperturb: per-example
+	// gradient clipping norm and the noise multiplier σ̃ (0 = solve the
+	// smallest σ̃ that fits the budget).
+	Clip      float64
+	NoiseMult float64
 	// KernelWorkers is the intra-batch parallelism degree of the SGD
 	// kernel (-kernel-workers; 1 = sequential). Bit-identical output
 	// for every value, so it composes with any -strategy.
@@ -72,8 +81,11 @@ func ParseDPSGD(args []string, stderr io.Writer) (*DPSGDConfig, error) {
 	fs.Float64Var(&cfg.Delta, "delta", 0, "privacy budget δ (0 = pure ε-DP)")
 	fs.IntVar(&cfg.Passes, "passes", 10, "passes over the data (k)")
 	fs.IntVar(&cfg.Batch, "batch", 50, "mini-batch size (b)")
-	fs.StringVar(&cfg.Strategy, "strategy", "sequential", "execution strategy: sequential|sharded|streaming (streaming needs -passes 1)")
+	fs.StringVar(&cfg.Strategy, "strategy", "sequential", "execution strategy: sequential|sharded|streaming (streaming needs -passes 1), or gradperturb (per-step clipped-gradient noise instead of output perturbation; needs -delta > 0)")
 	fs.IntVar(&cfg.Workers, "workers", 1, "shard count for -strategy sharded")
+	fs.StringVar(&cfg.Accounting, "accounting", "", "privacy composition rule: simple|advanced|rdp (default simple; rdp for -strategy gradperturb)")
+	fs.Float64Var(&cfg.Clip, "clip", 1, "per-example gradient clipping norm C for -strategy gradperturb")
+	fs.Float64Var(&cfg.NoiseMult, "noise-multiplier", 0, "gradperturb noise multiplier σ̃ (0 = solve the smallest that fits the budget)")
 	fs.IntVar(&cfg.KernelWorkers, "kernel-workers", 1, "intra-batch SGD parallelism (bit-identical to 1 at any value)")
 	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	fs.StringVar(&cfg.SavePath, "save", "", "write the trained model (JSON) to this path")
@@ -96,6 +108,28 @@ func ParseDPSGD(args []string, stderr io.Writer) (*DPSGDConfig, error) {
 	}
 	if cfg.CachePath != "" && cfg.DataPath == "" {
 		return nil, fmt.Errorf("cli: -cache converts a -data file; give one")
+	}
+	if cfg.Accounting != "" {
+		if _, err := compose.New(compose.Normalize(cfg.Accounting)); err != nil {
+			return nil, fmt.Errorf("cli: -accounting must be one of %v, got %q", compose.Rules(), cfg.Accounting)
+		}
+	}
+	if cfg.Strategy == "gradperturb" {
+		if cfg.Algo != "ours" {
+			return nil, fmt.Errorf("cli: -strategy gradperturb only applies to -algo ours, got %q", cfg.Algo)
+		}
+		if cfg.Delta <= 0 {
+			return nil, fmt.Errorf("cli: -strategy gradperturb is a Gaussian mechanism; give -delta > 0")
+		}
+		if cfg.Workers > 1 {
+			return nil, fmt.Errorf("cli: -strategy gradperturb is sequential-only; drop -workers")
+		}
+		if cfg.Clip <= 0 {
+			return nil, fmt.Errorf("cli: -clip must be > 0, got %v", cfg.Clip)
+		}
+		if cfg.NoiseMult < 0 {
+			return nil, fmt.Errorf("cli: -noise-multiplier must be >= 0, got %v", cfg.NoiseMult)
+		}
 	}
 	return cfg, nil
 }
@@ -218,7 +252,19 @@ func RunDPSGDCtx(ctx context.Context, cfg *DPSGDConfig, out io.Writer) error {
 		radius = 1 / cfg.Lambda
 	}
 	budget := dp.Budget{Epsilon: cfg.Eps, Delta: cfg.Delta}
-	strategy, err := engine.ParseStrategy(cfg.Strategy)
+	rule := compose.Normalize(cfg.Accounting)
+	if cfg.Accounting == "" && cfg.Strategy == "gradperturb" {
+		rule = compose.RuleRDP // the rule the strategy exists for
+	}
+	// gradperturb is not an engine strategy — it is the ours-algorithm
+	// trainer that swaps output perturbation for per-step gradient noise
+	// on the sequential engine.
+	gradPerturb := cfg.Strategy == "gradperturb"
+	strategyName := cfg.Strategy
+	if gradPerturb {
+		strategyName = "sequential"
+	}
+	strategy, err := engine.ParseStrategy(strategyName)
 	if err != nil {
 		return err
 	}
@@ -231,8 +277,8 @@ func RunDPSGDCtx(ctx context.Context, cfg *DPSGDConfig, out io.Writer) error {
 		passes = 1
 	}
 
-	fmt.Fprintf(out, "train: m=%d d=%d  test: m=%d  loss=%s  algo=%s  budget=%v  strategy=%v workers=%d\n",
-		train.Len(), train.Dim(), test.Len(), f.Name(), cfg.Algo, budget, strategy, cfg.Workers)
+	fmt.Fprintf(out, "train: m=%d d=%d  test: m=%d  loss=%s  algo=%s  budget=%v  strategy=%v workers=%d  accounting=%s\n",
+		train.Len(), train.Dim(), test.Len(), f.Name(), cfg.Algo, budget, cfg.Strategy, cfg.Workers, rule)
 
 	if (strategy != engine.Sequential || cfg.Workers > 1) && cfg.Algo != "ours" && cfg.Algo != "noiseless" {
 		return fmt.Errorf("cli: algorithm %q is white-box and sequential-only; drop -strategy/-workers", cfg.Algo)
@@ -244,16 +290,22 @@ func RunDPSGDCtx(ctx context.Context, cfg *DPSGDConfig, out io.Writer) error {
 	var w []float64
 	switch cfg.Algo {
 	case "ours":
-		acct, err = account.New(budget)
+		acct, err = account.NewWithRule(rule, budget)
 		if err != nil {
 			return err
 		}
-		res, err := core.TrainCtx(ctx, train, f,
+		opts := []core.Option{
 			core.WithAccountant(acct),
+			core.WithAccounting(rule),
 			core.WithPasses(passes), core.WithBatch(cfg.Batch), core.WithRadius(radius),
 			core.WithStrategy(strategy, cfg.Workers),
 			core.WithKernelWorkers(cfg.KernelWorkers),
-			core.WithRand(r))
+			core.WithRand(r),
+		}
+		if gradPerturb {
+			opts = append(opts, core.WithGradPerturb(cfg.Clip, cfg.NoiseMult))
+		}
+		res, err := core.TrainCtx(ctx, train, f, opts...)
 		if err != nil {
 			return err
 		}
@@ -271,7 +323,7 @@ func RunDPSGDCtx(ctx context.Context, cfg *DPSGDConfig, out io.Writer) error {
 		}
 		w = res.W
 	case "scs13":
-		acct, err = account.New(budget)
+		acct, err = account.NewWithRule(rule, budget)
 		if err != nil {
 			return err
 		}
@@ -288,7 +340,7 @@ func RunDPSGDCtx(ctx context.Context, cfg *DPSGDConfig, out io.Writer) error {
 		if radius <= 0 {
 			radius = 10
 		}
-		acct, err = account.New(budget)
+		acct, err = account.NewWithRule(rule, budget)
 		if err != nil {
 			return err
 		}
@@ -308,6 +360,10 @@ func RunDPSGDCtx(ctx context.Context, cfg *DPSGDConfig, out io.Writer) error {
 	model := &eval.Linear{W: w}
 	fmt.Fprintf(out, "train accuracy: %.4f\n", eval.Accuracy(train, model))
 	fmt.Fprintf(out, "test  accuracy: %.4f\n", eval.Accuracy(test, model))
+	if acct != nil {
+		sp := acct.Spent()
+		fmt.Fprintf(out, "accounting: rule=%s  spent ε=%.6g δ=%g\n", acct.Rule(), sp.Epsilon, sp.Delta)
+	}
 
 	meta := map[string]string{
 		"algorithm": cfg.Algo,

@@ -1,0 +1,115 @@
+package cli
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"boltondp/internal/account"
+	"boltondp/internal/account/compose"
+	"boltondp/internal/eval"
+)
+
+// The -accounting flag parses, defaults sensibly, and rejects unknown
+// rules; -strategy gradperturb carries its own validation table.
+func TestParseDPSGDAccountingAndGradPerturb(t *testing.T) {
+	cfg, err := ParseDPSGD(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Accounting != "" || cfg.Clip != 1 || cfg.NoiseMult != 0 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	cfg, err = ParseDPSGD([]string{"-accounting", "rdp", "-strategy", "gradperturb",
+		"-delta", "1e-6", "-clip", "0.5", "-noise-multiplier", "2"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Accounting != "rdp" || cfg.Clip != 0.5 || cfg.NoiseMult != 2 {
+		t.Errorf("parsed: %+v", cfg)
+	}
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"unknown rule", []string{"-accounting", "zcdp"}},
+		{"gradperturb without delta", []string{"-strategy", "gradperturb"}},
+		{"gradperturb with baseline", []string{"-strategy", "gradperturb", "-delta", "1e-6", "-algo", "bst14"}},
+		{"gradperturb with workers", []string{"-strategy", "gradperturb", "-delta", "1e-6", "-workers", "4"}},
+		{"gradperturb zero clip", []string{"-strategy", "gradperturb", "-delta", "1e-6", "-clip", "0"}},
+		{"gradperturb negative multiplier", []string{"-strategy", "gradperturb", "-delta", "1e-6", "-noise-multiplier", "-1"}},
+	} {
+		if _, err := ParseDPSGD(tc.args, io.Discard); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// End-to-end: dpsgd -strategy gradperturb trains, reports rdp
+// accounting, and the saved model carries an rdp ledger whose sgm entry
+// records the solved noise multiplier.
+func TestRunDPSGDGradPerturbEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	out, err := runQuick(t, func(c *DPSGDConfig) {
+		c.Strategy = "gradperturb"
+		c.Eps = 2
+		c.Delta = 1e-6
+		c.SavePath = path
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "accounting=rdp") || !strings.Contains(out, "accounting: rule=rdp") {
+		t.Errorf("report does not announce rdp accounting: %q", out)
+	}
+	if !strings.Contains(out, "test  accuracy:") {
+		t.Errorf("missing accuracy line: %q", out)
+	}
+	_, meta, err := eval.LoadClassifier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok, err := account.LedgerFromMeta(meta)
+	if err != nil || !ok {
+		t.Fatalf("saved gradperturb model carries no ledger: ok=%v err=%v", ok, err)
+	}
+	if l.Rule != compose.RuleRDP {
+		t.Errorf("ledger rule = %q, want rdp", l.Rule)
+	}
+	if len(l.Entries) != 1 || compose.Kind(l.Entries[0].Kind) != compose.KindSGM || l.Entries[0].Sigma <= 0 {
+		t.Errorf("ledger entries: %+v", l.Entries)
+	}
+	if l.SpentEpsilon > 2*(1+1e-9) {
+		t.Errorf("spent ε = %v exceeds the budget", l.SpentEpsilon)
+	}
+}
+
+// The explicit per-rule flag flows through to output perturbation too:
+// an -accounting advanced run reports its rule and stamps it into the
+// saved ledger.
+func TestRunDPSGDAccountingRuleFlows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	out, err := runQuick(t, func(c *DPSGDConfig) {
+		c.Accounting = "advanced"
+		c.Delta = 1e-6
+		c.SavePath = path
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "accounting: rule=advanced") {
+		t.Errorf("report does not announce the rule: %q", out)
+	}
+	_, meta, err := eval.LoadClassifier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok, err := account.LedgerFromMeta(meta)
+	if err != nil || !ok {
+		t.Fatalf("no ledger: ok=%v err=%v", ok, err)
+	}
+	if l.Rule != compose.RuleAdvanced {
+		t.Errorf("ledger rule = %q, want advanced", l.Rule)
+	}
+}

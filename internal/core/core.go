@@ -31,6 +31,7 @@ import (
 	"boltondp/internal/dp"
 	"boltondp/internal/engine"
 	"boltondp/internal/loss"
+	"boltondp/internal/rng"
 	"boltondp/internal/sgd"
 )
 
@@ -158,6 +159,20 @@ type Options struct {
 	// entire remaining budget is drawn.
 	Accountant *account.Accountant
 
+	// Accounting names the composition rule ("simple", "advanced",
+	// "rdp") the run is priced under. Empty defers to the accountant's
+	// rule (or "simple" stand-alone; "rdp" for gradient perturbation,
+	// the rule that strategy exists for). When both Accounting and
+	// Accountant are set they must agree — one composition authority
+	// per run.
+	Accounting string
+
+	// GradPerturb, when non-nil, switches Train to the
+	// gradient-perturbation strategy (PrivateGradPerturbPSGD): per-step
+	// clipped-gradient noise accounted through the subsampled-Gaussian
+	// composer instead of the paper's single output perturbation.
+	GradPerturb *GradPerturbSpec
+
 	// SpendLabel is the accountant ledger label for this run's
 	// reservation. Empty means "train(<loss name>)".
 	SpendLabel string
@@ -207,6 +222,9 @@ func (o *Options) validate() error {
 	}
 	if o.Workers > 1 && o.Strategy != engine.Sharded {
 		return fmt.Errorf("core: Workers=%d requires the Sharded strategy, got %v", o.Workers, o.Strategy)
+	}
+	if _, err := o.accountingRule(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -263,6 +281,13 @@ func (o *Options) fillBudget() error {
 // with no training work done. Reservations are never refunded: the
 // ledger records intent to release, the conservative reading of simple
 // composition (a failed run after this point still forfeits its spend).
+//
+// The reservation is typed so the accountant's composition rule can
+// price it tightly: a pure release as an ε-DP event (advanced/RDP give
+// it a sublinear composed cost), an approximate one as the Gaussian
+// mechanism at the multiplier the calibration in dp.Budget.Perturb
+// actually uses. Under the simple rule both downgrade to the plain
+// (ε, δ) entry this method always recorded — bit-identical ledgers.
 func (o *Options) reserveBudget(f loss.Function) error {
 	if o.Accountant == nil {
 		return nil
@@ -271,7 +296,11 @@ func (o *Options) reserveBudget(f loss.Function) error {
 	if label == "" {
 		label = "train(" + f.Name() + ")"
 	}
-	return o.Accountant.Reserve(label, o.Budget)
+	if o.Budget.Pure() {
+		return o.Accountant.ReservePure(label, o.Budget.Epsilon)
+	}
+	return o.Accountant.ReserveGaussian(label,
+		rng.GaussianSigma(1, o.Budget.Epsilon, o.Budget.Delta), 1, o.Budget)
 }
 
 // Result reports one private training run.
@@ -454,9 +483,13 @@ func PrivateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Re
 	return perturb(&res.Result, o, sens)
 }
 
-// Train dispatches to the tighter applicable algorithm: Algorithm 2
-// when the loss is strongly convex, Algorithm 1 otherwise.
+// Train dispatches to the tighter applicable algorithm: gradient
+// perturbation when Options.GradPerturb is set, else Algorithm 2 when
+// the loss is strongly convex, Algorithm 1 otherwise.
 func Train(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	if opt.GradPerturb != nil {
+		return PrivateGradPerturbPSGD(s, f, opt)
+	}
 	if f.Params().StronglyConvex() {
 		return PrivateStronglyConvexPSGD(s, f, opt)
 	}

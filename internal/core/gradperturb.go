@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"boltondp/internal/account/compose"
+	"boltondp/internal/engine"
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+)
+
+// GradPerturbSpec configures the gradient-perturbation training
+// strategy (DP-SGD): per-example l2 clipping to Clip plus Gaussian
+// noise on every summed mini-batch gradient, with the privacy cost
+// accounted per step through the subsampled-Gaussian machinery of
+// internal/account/compose instead of a single output-perturbation
+// release. It is the other half of the private-ERM design space next to
+// the paper's bolt-on output perturbation: noisier per step but
+// loss-agnostic (no Lipschitz/smoothness constants enter the
+// calibration — the clip bounds sensitivity by force) and far cheaper
+// under Rényi accounting.
+type GradPerturbSpec struct {
+	// Clip is the per-example gradient clipping norm C > 0. The l2
+	// sensitivity of each clipped batch sum under replace-one adjacency
+	// is 2C, which is what the noise is calibrated against.
+	Clip float64
+
+	// NoiseMultiplier is σ̃, the per-step Gaussian noise scale in units
+	// of the sensitivity (the per-coordinate noise stddev on a summed
+	// batch gradient is 2·Clip·σ̃). Zero means "solve it from the
+	// budget": the smallest σ̃ whose T steps price within Options.Budget
+	// under the accounting rule, found by bisection
+	// (compose.SolveSGMSigma).
+	NoiseMultiplier float64
+}
+
+// PrivateGradPerturbPSGD trains with per-step gradient perturbation
+// (DP-SGD) under Options.Budget:
+//
+//	w_{t+1} = Π_C( w_t − η_t · (Σ_{i∈B_t} clip_C(∇ℓ_i(w_t)) + N(0, (2C·σ̃)²·I)) / |B_t| )
+//
+// for T = Passes·⌊m/b⌋ steps, priced as T invocations of the
+// subsampled Gaussian mechanism at sampling fraction q = maxbatch/m
+// (the merged final batch is the largest and hence the conservative
+// fraction) under the accounting rule (Options.Accounting; default rdp
+// — the rule this strategy exists for). The spend is reserved against
+// the accountant — or, without one, trial-priced against the budget —
+// BEFORE any row is touched, so an over-budget run fails closed with
+// zero work done.
+//
+// Unlike the output-perturbation trainers every iterate is already
+// private (each update is a noisy release and the trajectory is
+// post-processing), so Result.NonPrivate is nil and Average /
+// AverageTail act on private iterates. The strategy is Sequential-only:
+// the subsampled-Gaussian accounting assumes one update stream, and a
+// data-dependent stopping rule (Tol) would invalidate the calibrated T.
+func PrivateGradPerturbPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	if opt.GradPerturb == nil {
+		return nil, errors.New("core: PrivateGradPerturbPSGD needs Options.GradPerturb")
+	}
+	if err := opt.fillBudget(); err != nil {
+		return nil, err
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	spec := *opt.GradPerturb
+	if opt.Strategy != engine.Sequential {
+		return nil, fmt.Errorf("core: gradient perturbation is Sequential-only (per-step accounting assumes one update stream), got %v", opt.Strategy)
+	}
+	if opt.Tol > 0 {
+		return nil, errors.New("core: gradient perturbation fixes the step count at calibration time; Tol-based early stopping is not allowed")
+	}
+	if opt.Budget.Delta <= 0 {
+		return nil, fmt.Errorf("core: gradient perturbation is a Gaussian mechanism and needs δ > 0, got %v", opt.Budget)
+	}
+	m := s.Len()
+	if m == 0 {
+		return nil, errors.New("core: empty training set")
+	}
+	o := opt.withDefaults(m)
+	if o.Batch > m {
+		o.Batch = m
+	}
+
+	// The pricing mirrors the engine's batching exactly: ⌊m/b⌋ updates
+	// per pass with the remainder merged into the final batch, whose
+	// size maxBatch is the conservative sampling fraction.
+	updatesPerPass := m / o.Batch
+	if updatesPerPass < 1 {
+		updatesPerPass = 1
+	}
+	steps := o.Passes * updatesPerPass
+	maxBatch := m - (updatesPerPass-1)*o.Batch
+	q := float64(maxBatch) / float64(m)
+
+	rule, err := o.accountingRule()
+	if err != nil {
+		return nil, err
+	}
+	sigma := spec.NoiseMultiplier
+	if sigma == 0 {
+		sigma, err = compose.SolveSGMSigma(rule, q, steps, o.Budget)
+		if err != nil {
+			return nil, err
+		}
+	} else if sigma < 0 {
+		return nil, fmt.Errorf("core: NoiseMultiplier must be >= 0, got %v", sigma)
+	}
+
+	// Fail closed before any row access: reserve the run against the
+	// accountant, or — stand-alone — refuse a (σ̃, q, T) whose composed
+	// price exceeds the stated budget.
+	if o.Accountant != nil {
+		label := o.SpendLabel
+		if label == "" {
+			label = "gradperturb(" + f.Name() + ")"
+		}
+		if err := o.Accountant.ReserveSubsampledGaussian(label, sigma, q, steps, o.Budget.Delta); err != nil {
+			return nil, err
+		}
+	} else {
+		price, err := compose.PriceSGM(rule, sigma, q, steps, o.Budget)
+		if err != nil {
+			return nil, err
+		}
+		if price.Epsilon > o.Budget.Epsilon*(1+1e-9) {
+			return nil, fmt.Errorf("core: gradperturb run prices at %v under rule %s, over budget %v (raise NoiseMultiplier or the budget)",
+				price, rule, o.Budget)
+		}
+	}
+
+	res, err := engine.Run(s, engine.Config{
+		Strategy: engine.Sequential,
+		SGD: sgd.Config{
+			Loss:        f,
+			Step:        gradPerturbStep(&o, f, m),
+			Passes:      o.Passes,
+			Batch:       o.Batch,
+			Radius:      o.Radius,
+			Average:     o.Average,
+			AverageTail: o.AverageTail,
+			FreshPerm:   o.FreshPerm,
+			Rand:        o.Rand,
+			Ctx:         o.Ctx,
+			Progress:    o.Progress,
+			GradPerturb: &sgd.GradPerturb{
+				Clip:  spec.Clip,
+				Sigma: 2 * spec.Clip * sigma,
+				Rand:  o.Rand,
+			},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	model := res.Model()
+	return &Result{
+		W: model,
+		// Every iterate is private; there is no non-private model to
+		// withhold and no single output draw to report a norm for.
+		NonPrivate:  nil,
+		Sensitivity: 2 * spec.Clip,
+		NoiseNorm:   0,
+		Updates:     res.Updates,
+		Passes:      res.Passes,
+	}, nil
+}
+
+// gradPerturbStep picks the step schedule: the convex families apply
+// unchanged (the noise calibration is schedule-independent — the clip,
+// not the step size, bounds sensitivity).
+func gradPerturbStep(o *Options, f loss.Function, m int) sgd.Schedule {
+	p := f.Params()
+	switch o.Step {
+	case StepDecreasing:
+		return sgd.DecreasingConvex(p.Beta, m, o.C)
+	case StepSqrt:
+		return sgd.SqrtConvex(p.Beta, m, o.C)
+	default:
+		eta := o.Eta
+		if p.Beta > 0 && eta > 2/p.Beta {
+			eta = 2 / p.Beta
+		}
+		return sgd.Constant(eta)
+	}
+}
+
+// accountingRule resolves the composition rule a run calibrates and
+// reserves under: Options.Accounting when set (which must then agree
+// with the accountant's rule, if one is attached), else the
+// accountant's own rule, else — for gradient perturbation only — rdp,
+// the rule the strategy exists for.
+func (o *Options) accountingRule() (string, error) {
+	rule := compose.Normalize(o.Accounting)
+	if o.Accounting == "" {
+		if o.Accountant != nil {
+			return o.Accountant.Rule(), nil
+		}
+		if o.GradPerturb != nil {
+			return compose.RuleRDP, nil
+		}
+		return rule, nil
+	}
+	if _, err := compose.New(rule); err != nil {
+		return "", err
+	}
+	if o.Accountant != nil && o.Accountant.Rule() != rule {
+		return "", fmt.Errorf("core: Options.Accounting=%q disagrees with the accountant's rule %q — one composition authority per run",
+			rule, o.Accountant.Rule())
+	}
+	return rule, nil
+}

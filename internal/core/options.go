@@ -99,6 +99,27 @@ func WithTol(tol float64) Option {
 	return func(o *Options) { o.Tol = tol }
 }
 
+// WithAccounting names the composition rule ("simple", "advanced",
+// "rdp") the run is priced under. With an accountant attached the two
+// must agree; without one it governs the stand-alone calibration (only
+// gradient perturbation consults it today).
+func WithAccounting(rule string) Option {
+	return func(o *Options) { o.Accounting = rule }
+}
+
+// WithGradPerturb switches training to the gradient-perturbation
+// strategy: per-example gradients clipped to clip, Gaussian noise at
+// noise multiplier noiseMultiplier (σ̃, in units of the 2·clip
+// sensitivity) added to every summed mini-batch gradient, priced as T
+// subsampled-Gaussian releases under the accounting rule (default rdp).
+// Pass noiseMultiplier = 0 to solve the smallest σ̃ that fits the
+// budget.
+func WithGradPerturb(clip, noiseMultiplier float64) Option {
+	return func(o *Options) {
+		o.GradPerturb = &GradPerturbSpec{Clip: clip, NoiseMultiplier: noiseMultiplier}
+	}
+}
+
 // TrainCtx is the context-aware, functional-options form of Train: it
 // runs the bolt-on private PSGD appropriate for the loss, cancellable
 // through ctx (checked once per mini-batch update by every execution

@@ -365,6 +365,9 @@ func runSharded(s sgd.Samples, cfg Config) (*Result, error) {
 	if c.GradNoise != nil {
 		return nil, errors.New("engine: Sharded rejects GradNoise — white-box per-batch noise has no sharded sensitivity analysis")
 	}
+	if c.GradPerturb != nil {
+		return nil, errors.New("engine: Sharded rejects GradPerturb — the subsampled-Gaussian accounting assumes one sequential update stream")
+	}
 	if c.Perm != nil {
 		return nil, errors.New("engine: Sharded samples per-shard permutations; Perm does not apply")
 	}

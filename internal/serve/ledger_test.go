@@ -5,9 +5,11 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"boltondp/internal/account"
+	"boltondp/internal/account/compose"
 	"boltondp/internal/dp"
 	"boltondp/internal/eval"
 )
@@ -94,6 +96,92 @@ func TestModelzRoundTripsLedger(t *testing.T) {
 		if _, ok, err := account.LedgerFromMeta(meta); !ok || err != nil {
 			data, _ := os.ReadFile(filepath.Join(dir, "fraud.json"))
 			t.Fatalf("model file carries no ledger (ok=%v err=%v): %s", ok, err, data)
+		}
+	})
+}
+
+// The acceptance path for the rdp accounting rule: a gradperturb-style
+// publish stamps an rdp ledger (sgm entry + per-order rule state), and
+// it survives save → publish → /modelz → reload byte-faithfully; the
+// /metrics endpoint reports the rule as a gauge label.
+func TestModelzRoundTripsRDPLedger(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acct, err := account.NewWithRule(compose.RuleRDP, dp.Budget{Epsilon: 2, Delta: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acct.ReserveSubsampledGaussian("gradperturb(logistic)", 1.5, 0.01, 500, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	want := acct.Ledger()
+	meta := map[string]string{"loss": "logistic"}
+	if err := acct.StampMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("gp", &eval.Linear{W: []float64{1, -1}}, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(t *testing.T, reg *Registry) {
+		t.Helper()
+		w, _ := do(t, New(reg, Config{}).Handler(), "GET", "/modelz", "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("/modelz status %d: %s", w.Code, w.Body.String())
+		}
+		var resp struct {
+			Models []struct {
+				Meta map[string]string `json:"meta"`
+			} `json:"models"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Models) != 1 {
+			t.Fatalf("models: %+v", resp.Models)
+		}
+		l, ok, err := account.LedgerFromMeta(resp.Models[0].Meta)
+		if err != nil || !ok {
+			t.Fatalf("no ledger: ok=%v err=%v", ok, err)
+		}
+		if !l.Same(want) {
+			t.Fatalf("rdp ledger did not round-trip:\n%+v\nvs\n%+v", l, want)
+		}
+		if l.Rule != compose.RuleRDP || len(l.RuleState) == 0 {
+			t.Errorf("rule/state lost: rule=%q state=%d bytes", l.Rule, len(l.RuleState))
+		}
+		e := l.Entries[0]
+		if compose.Kind(e.Kind) != compose.KindSGM || e.Sigma != 1.5 || e.Q != 0.01 || e.Steps != 500 {
+			t.Errorf("sgm entry detail lost: %+v", e)
+		}
+		// The rdp composed spend is below the entry's standalone price —
+		// the tighter rule survived serialization, not just the name.
+		if l.SpentEpsilon >= e.Epsilon {
+			t.Errorf("composed spent %v not below linear entry price %v", l.SpentEpsilon, e.Epsilon)
+		}
+	}
+
+	t.Run("live registry", func(t *testing.T) { check(t, reg) })
+	t.Run("reloaded registry", func(t *testing.T) {
+		reloaded, err := NewRegistry(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, reloaded)
+	})
+
+	// /metrics exposes the rule as dpserve_dp_rule{model,rule}.
+	t.Run("metrics rule gauge", func(t *testing.T) {
+		w, _ := do(t, New(reg, Config{}).Handler(), "GET", "/metrics", "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("/metrics status %d", w.Code)
+		}
+		if !strings.Contains(w.Body.String(), `dpserve_dp_rule{model="gp",rule="rdp"} 1`) {
+			t.Errorf("missing dpserve_dp_rule gauge:\n%s", w.Body.String())
 		}
 	})
 }

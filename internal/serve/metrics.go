@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"boltondp/internal/account"
+	"boltondp/internal/account/compose"
 )
 
 // Observability: a dependency-free GET /metrics in the Prometheus text
@@ -195,6 +196,8 @@ func (s *Server) writeMetricsText(w io.Writer) {
 			fmt.Fprintf(&b, "dpserve_dp_epsilon_total{model=\"%s\"} %s\n", escapeLabel(live.Name), formatFloat(total.Epsilon))
 			b.WriteString("# HELP dpserve_dp_delta_total Total privacy budget delta of the live model's accountant.\n# TYPE dpserve_dp_delta_total gauge\n")
 			fmt.Fprintf(&b, "dpserve_dp_delta_total{model=\"%s\"} %s\n", escapeLabel(live.Name), formatFloat(total.Delta))
+			b.WriteString("# HELP dpserve_dp_rule Composition rule the live model's spend was accounted under (an absent ledger rule is simple); value is always 1.\n# TYPE dpserve_dp_rule gauge\n")
+			fmt.Fprintf(&b, "dpserve_dp_rule{model=\"%s\",rule=\"%s\"} 1\n", escapeLabel(live.Name), escapeLabel(compose.Normalize(l.Rule)))
 		}
 	}
 

@@ -16,6 +16,15 @@
 // expressed against the same engine; it corresponds to the "deep code
 // changes" to Bismarck's transition function shown in Figure 1(C) of
 // the paper, and internal/core never sets it.
+//
+// Config.GradPerturb generalizes that hook into a first-class training
+// mode: DP-SGD-style gradient perturbation (per-example l2 clipping to
+// C plus Gaussian noise on every summed mini-batch gradient), the other
+// half of the private-ERM design space next to the paper's output
+// perturbation. It rides the same injection point in the update loop as
+// GradNoise; the privacy calibration (noise multiplier from a
+// subsampled-Gaussian accountant) lives in internal/core, which is the
+// only caller that sets it.
 package sgd
 
 import (
@@ -26,6 +35,7 @@ import (
 	"math/rand"
 
 	"boltondp/internal/loss"
+	"boltondp/internal/rng"
 	"boltondp/internal/vec"
 )
 
@@ -141,6 +151,17 @@ type Config struct {
 	// place (white-box hook for SCS13/BST14 — see the package comment).
 	GradNoise func(t int, grad []float64)
 
+	// GradPerturb, if non-nil, runs the engine in gradient-perturbation
+	// mode: every per-example gradient is l2-clipped to Clip before
+	// accumulation, and Gaussian noise of per-coordinate stddev Sigma is
+	// added to the summed (pre-averaging) batch gradient at the same
+	// injection point as GradNoise. Incompatible with GradNoise (one
+	// noise authority per run) and with the sparse and parallel kernels
+	// (clipping needs each example's dense gradient, materialized
+	// sequentially) — Run silently falls back to the sequential dense
+	// kernel.
+	GradPerturb *GradPerturb
+
 	// W0 is the starting point; nil means the origin.
 	W0 []float64
 
@@ -167,6 +188,26 @@ type Config struct {
 	// iterate. The risk evaluation costs one extra pass over the data,
 	// and is shared with Tol's evaluation when both are set.
 	Progress func(pass int, risk float64)
+}
+
+// GradPerturb configures gradient-perturbation mode (see
+// Config.GradPerturb). The noise scale is stated in ABSOLUTE units on
+// the summed batch gradient: a batch's update direction is
+// (Σᵢ clip_C(∇ℓᵢ) + N(0, Sigma²·I)) / |batch|, the DP-SGD update. The
+// caller calibrates Sigma = sensitivity × noise-multiplier (for
+// replace-one adjacency the clipped sum's l2 sensitivity is 2·Clip) —
+// internal/core does this through the subsampled-Gaussian accountant.
+type GradPerturb struct {
+	// Clip is the per-example gradient l2 clipping norm C > 0.
+	Clip float64
+	// Sigma is the per-coordinate Gaussian noise stddev added to each
+	// summed batch gradient. Zero means clipping only (used by parity
+	// tests); negative is invalid.
+	Sigma float64
+	// Rand is the noise source; required when Sigma > 0. It must be
+	// distinct from Config.Rand only if the caller needs permutation
+	// draws to be reproducible independently of the noise draws.
+	Rand *rand.Rand
 }
 
 func (c *Config) validate(m int) error {
@@ -205,6 +246,25 @@ func (c *Config) validate(m int) error {
 	}
 	if c.AverageTail && c.Tol > 0 {
 		return errors.New("sgd: AverageTail needs the total iteration count in advance; incompatible with Tol")
+	}
+	if gp := c.GradPerturb; gp != nil {
+		if c.GradNoise != nil {
+			return errors.New("sgd: GradPerturb and GradNoise are mutually exclusive (one noise authority per run)")
+		}
+		if gp.Clip <= 0 {
+			return fmt.Errorf("sgd: GradPerturb.Clip must be > 0, got %v", gp.Clip)
+		}
+		if gp.Sigma < 0 {
+			return fmt.Errorf("sgd: GradPerturb.Sigma must be >= 0, got %v", gp.Sigma)
+		}
+		if gp.Sigma > 0 && gp.Rand == nil {
+			return errors.New("sgd: GradPerturb.Rand is required when Sigma > 0")
+		}
+		if c.Tol > 0 {
+			// A data-dependent stopping time changes the number of noisy
+			// updates after calibration, voiding the accountant's T.
+			return errors.New("sgd: GradPerturb is incompatible with Tol (the noise calibration fixes the update count)")
+		}
 	}
 	return nil
 }
@@ -294,7 +354,17 @@ func Run(s Samples, cfg Config) (*Result, error) {
 	// batches reach size < 2b; maxBatch bounds the parallel kernel's
 	// per-example buffers.
 	maxBatch := m - (updatesPerPass-1)*b
-	dk := newDenseKernel(s, cfg.KernelWorkers, maxBatch, d, cfg.Loss, w, grad)
+	gp := cfg.GradPerturb
+	var noise []float64
+	if gp != nil && gp.Sigma > 0 {
+		noise = make([]float64, d)
+	}
+	// Clipping needs every example's gradient materialized in order, so
+	// gradient-perturbation runs stay on the sequential dense kernel.
+	var dk *denseKernel
+	if gp == nil {
+		dk = newDenseKernel(s, cfg.KernelWorkers, maxBatch, d, cfg.Loss, w, grad)
+	}
 	if dk != nil {
 		defer dk.close()
 	}
@@ -343,11 +413,20 @@ func Run(s Samples, cfg Config) (*Result, error) {
 					}
 					x, y := s.At(idx)
 					cfg.Loss.Grad(gbuf, w, x, y)
+					if gp != nil {
+						clipTo(gbuf, gp.Clip)
+					}
 					vec.Axpy(grad, 1, gbuf)
 				}
 			}
-			vec.Scale(grad, 1/float64(end-start))
 			t++
+			if gp != nil && noise != nil {
+				// Noise on the SUM, then average with it — the DP-SGD
+				// update; shares GradNoise's injection point.
+				rng.GaussianVec(gp.Rand, noise, gp.Sigma)
+				vec.Axpy(grad, 1, noise)
+			}
+			vec.Scale(grad, 1/float64(end-start))
 			if cfg.GradNoise != nil {
 				cfg.GradNoise(t, grad)
 			}
@@ -384,6 +463,16 @@ func Run(s Samples, cfg Config) (*Result, error) {
 		res.WAvg = wsum
 	}
 	return res, nil
+}
+
+// clipTo scales g down to l2 norm c when it exceeds it — the DP-SGD
+// per-example clip, which caps each example's contribution to the batch
+// sum at c regardless of the loss's own Lipschitz constant.
+func clipTo(g []float64, c float64) {
+	n := vec.Norm(g)
+	if n > c {
+		vec.Scale(g, c/n)
+	}
 }
 
 // EmpiricalRisk returns L_S(w) = (1/m) Σ ℓ(w; z_i), the quantity whose

@@ -78,7 +78,7 @@ func (s *SparseSliceSamples) Shard(lo, hi int) Samples {
 // materialized dense gradient — must be unset.
 func sparseCapable(s Samples, cfg *Config) (SparseSamples, loss.Linear, bool) {
 	ss, ok := s.(SparseSamples)
-	if !ok || cfg.GradNoise != nil {
+	if !ok || cfg.GradNoise != nil || cfg.GradPerturb != nil {
 		return nil, nil, false
 	}
 	lf, ok := cfg.Loss.(loss.Linear)

@@ -138,7 +138,19 @@ func PrivateCtx(ctx context.Context, d *data.Dataset, grid []Params, budget dp.B
 		return nil, fmt.Errorf("tuning: dataset of %d rows too small for %d+1 portions", d.Len(), l)
 	}
 	if acct != nil {
-		if err := acct.Reserve(fmt.Sprintf("tune(%d candidates)", l), budget); err != nil {
+		// The exponential mechanism is pure ε-DP, so reserve it as such:
+		// under advanced/RDP accounting a pure event composes
+		// sublinearly, and under the simple rule ReservePure downgrades
+		// to the exact plain entry Reserve always recorded. A δ-carrying
+		// budget (not what Algorithm 3 spends) stays a plain reservation.
+		label := fmt.Sprintf("tune(%d candidates)", l)
+		var err error
+		if budget.Pure() {
+			err = acct.ReservePure(label, budget.Epsilon)
+		} else {
+			err = acct.Reserve(label, budget)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -3,10 +3,12 @@ package tuning
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
 	"boltondp/internal/account"
+	"boltondp/internal/account/compose"
 	"boltondp/internal/core"
 	"boltondp/internal/data"
 	"boltondp/internal/dp"
@@ -311,5 +313,61 @@ func TestEngineTrainFuncCtx(t *testing.T) {
 	_, err := train(d, Params{K: 2, B: 10, Lambda: 1e-3})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A pure tuning spend is reserved as a pure event, so advanced/RDP
+// accountants compose a long sequence of small selections sublinearly:
+// after the same 30 tunes the tighter rules must report strictly more
+// remaining budget than simple composition — and simple's ledger stays
+// entry-identical to the pre-typed Reserve path.
+func TestPrivateTuningRuleAwareHeadroom(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	d := data.Synthetic(r, data.GenConfig{Name: "t", M: 3000, D: 5, Classes: 2, Spread: 0.4})
+	grid := Grid([]int{5}, []int{50}, []float64{1e-3, 1e-2})
+	total := dp.Budget{Epsilon: 4, Delta: 1e-6}
+	const rounds = 30
+	const eps = 0.1
+
+	spend := func(rule string) *account.Accountant {
+		acct, err := account.NewWithRule(rule, total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rounds; i++ {
+			if _, err := PrivateCtx(context.Background(), d, grid, dp.Budget{Epsilon: eps}, acct, centroid, r); err != nil {
+				t.Fatalf("rule %s, round %d: %v", rule, i, err)
+			}
+		}
+		return acct
+	}
+
+	simple := spend(compose.RuleSimple)
+	advanced := spend(compose.RuleAdvanced)
+	rdp := spend(compose.RuleRDP)
+
+	if got := simple.Spent(); math.Abs(got.Epsilon-rounds*eps) > 1e-12 {
+		t.Fatalf("simple spent %v, want %v", got.Epsilon, rounds*eps)
+	}
+	rs, ra, rr := simple.Remaining(), advanced.Remaining(), rdp.Remaining()
+	if !(ra.Epsilon > rs.Epsilon) {
+		t.Errorf("advanced headroom %v not above simple %v", ra.Epsilon, rs.Epsilon)
+	}
+	if !(rr.Epsilon > rs.Epsilon) {
+		t.Errorf("rdp headroom %v not above simple %v", rr.Epsilon, rs.Epsilon)
+	}
+	t.Logf("remaining ε after %d tunes of %v: simple %.4f, advanced %.4f, rdp %.4f",
+		rounds, eps, rs.Epsilon, ra.Epsilon, rr.Epsilon)
+
+	// Simple-rule bit-compat: the typed pure reservation produced the
+	// same entries a plain Reserve sequence records.
+	plain := account.MustNew(total)
+	for i := 0; i < rounds; i++ {
+		if err := plain.Reserve("tune(2 candidates)", dp.Budget{Epsilon: eps}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !simple.Ledger().Same(plain.Ledger()) {
+		t.Fatal("simple-rule tuning ledger diverged from plain Reserve sequence")
 	}
 }
