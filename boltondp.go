@@ -321,6 +321,8 @@ func WithRand(r *rand.Rand) TrainOption { return core.WithRand(r) }
 // the 1-based epoch number and the empirical risk of the current
 // pre-noise iterate. The risk values are NOT private — log them on the
 // trusted side only, never release them under the run's budget.
+// Incompatible with WithGradPerturb, whose iterates are released as
+// they are produced: the exact risk would leak outside the budget.
 func WithProgress(fn func(epoch int, risk float64)) TrainOption { return core.WithProgress(fn) }
 
 // WithTrainOptions seeds the run from a full TrainOptions value — the

@@ -234,9 +234,9 @@ func linearPrice(e Event) dp.Budget {
 
 // sgmStepEpsilon prices ONE subsampled-Gaussian step at noise
 // multiplier sigma and sampling fraction q against a per-step δ₁: the
-// base Gaussian on the subsample gets (ε_g, δ₁/q) by inverting the
-// Theorem-3 calibration σ̃ = √(2 ln(1.25/δ_g))/ε_g, and amplification
-// by subsampling maps it to (ln(1 + q(e^{ε_g} − 1)), q·δ_g) = (ε₁, δ₁).
+// base Gaussian on the subsample is priced at (ε_g, δ₁/q) through the
+// analytic Gaussian mechanism (gaussianEpsilon), and amplification by
+// subsampling maps it to (ln(1 + q(e^{ε_g} − 1)), q·δ_g) = (ε₁, δ₁).
 // The amplified ε₁ is returned together with the base ε_g (reported by
 // the advanced rule's per-step sums).
 func sgmStepEpsilon(sigma, q, delta1 float64) (eps1, epsBase float64) {
@@ -247,7 +247,7 @@ func sgmStepEpsilon(sigma, q, delta1 float64) (eps1, epsBase float64) {
 		deltaG = delta1
 		q = 1
 	}
-	epsBase = math.Sqrt(2*math.Log(1.25/deltaG)) / sigma
+	epsBase = gaussianEpsilon(sigma, deltaG)
 	if q >= 1 {
 		return epsBase, epsBase
 	}
@@ -258,6 +258,61 @@ func sgmStepEpsilon(sigma, q, delta1 float64) (eps1, epsBase float64) {
 		return epsBase + math.Log(q), epsBase
 	}
 	return math.Log1p(q * grow), epsBase
+}
+
+// normCDF is Φ, the standard normal CDF.
+func normCDF(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+
+// gaussianDeltaAt evaluates the exact privacy profile δ(ε) of the
+// Gaussian mechanism at noise multiplier sigma = σ/Δ₂ — the analytic
+// Gaussian mechanism of Balle–Wang (ICML '18):
+//
+//	δ(ε) = Φ(1/(2σ̃) − εσ̃) − e^ε · Φ(−1/(2σ̃) − εσ̃)
+//
+// The e^ε·Φ(·) term is assembled in log space: Φ of a strongly
+// negative argument underflows float64, and dropping the (subtracted)
+// term only OVERSTATES δ, so any underflow errs conservative.
+func gaussianDeltaAt(sigma, eps float64) float64 {
+	a := 1/(2*sigma) - eps*sigma
+	b := -1/(2*sigma) - eps*sigma
+	d := normCDF(a)
+	if phiB := normCDF(b); phiB > 0 {
+		d -= math.Exp(eps + math.Log(phiB))
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// gaussianEpsilon inverts gaussianDeltaAt: the smallest ε at which the
+// Gaussian mechanism at noise multiplier sigma is (ε, δ)-DP. Unlike
+// inverting the classical calibration σ̃ = √(2 ln(1.25/δ))/ε — which is
+// only a valid guarantee below ε = 1 and silently under-prices beyond
+// it — the analytic profile is exact at every ε. δ(ε) is continuous
+// and non-increasing, so bisection converges; the upper end of the
+// bracket is returned, keeping the result a sound guarantee.
+func gaussianEpsilon(sigma, delta float64) float64 {
+	if gaussianDeltaAt(sigma, 0) <= delta {
+		return 0
+	}
+	lo, hi := 0.0, 1.0
+	for gaussianDeltaAt(sigma, hi) > delta {
+		lo = hi
+		hi *= 2
+		if hi > 1e9 {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if gaussianDeltaAt(sigma, mid) > delta {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
 }
 
 // ---------------------------------------------------------------------

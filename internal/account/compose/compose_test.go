@@ -172,6 +172,58 @@ func TestSGMStepEpsilonAmplifies(t *testing.T) {
 	}
 }
 
+// TestAnalyticGaussianEpsilon pins the analytic Gaussian mechanism
+// inversion the per-step SGM conversion is built on (Balle–Wang): the
+// returned ε must be a SOUND guarantee (the exact profile δ(ε) at it
+// stays within the target δ), must never exceed the classical
+// √(2 ln(1.25/δ))/σ̃ calibration where that bound is valid (ε < 1) —
+// the classical formula is what the old conversion inverted, and it
+// silently under-prices above ε = 1 — and must be monotone in both
+// σ̃ and δ.
+func TestAnalyticGaussianEpsilon(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1, 2, 5, 20} {
+		for _, delta := range []float64{1e-5, 1e-7, 1e-9} {
+			eps := gaussianEpsilon(sigma, delta)
+			if !(eps > 0) || math.IsInf(eps, 0) {
+				t.Fatalf("gaussianEpsilon(%v, %v) = %v", sigma, delta, eps)
+			}
+			// Soundness: the profile at the returned ε must not exceed δ.
+			if d := gaussianDeltaAt(sigma, eps); d > delta*(1+1e-9) {
+				t.Errorf("σ̃=%v δ=%v: δ(ε=%v) = %v exceeds the target", sigma, delta, eps, d)
+			}
+			// Where the classical calibration is a valid guarantee, the
+			// analytic inversion is at least as tight.
+			classical := math.Sqrt(2*math.Log(1.25/delta)) / sigma
+			if classical < 1 && eps > classical*(1+1e-9) {
+				t.Errorf("σ̃=%v δ=%v: analytic ε=%v above valid classical ε=%v", sigma, delta, eps, classical)
+			}
+			// More noise → smaller ε; looser δ → smaller ε.
+			if e2 := gaussianEpsilon(2*sigma, delta); e2 > eps*(1+1e-9) {
+				t.Errorf("σ̃=%v δ=%v: ε grew from %v to %v when σ̃ doubled", sigma, delta, eps, e2)
+			}
+			if e2 := gaussianEpsilon(sigma, 10*delta); e2 > eps*(1+1e-9) {
+				t.Errorf("σ̃=%v δ=%v: ε grew from %v to %v when δ relaxed", sigma, delta, eps, e2)
+			}
+		}
+	}
+	// The regime the classical inversion got wrong: at small σ̃ the
+	// inverted ε lands far above 1, where √(2 ln(1.25/δ))/σ̃ is not a
+	// guarantee at all — the exact profile at that ε still leaks more
+	// than δ, so the analytic ε must come out HIGHER (the old
+	// conversion under-charged).
+	sigma, delta := 0.5, 1e-7
+	classical := math.Sqrt(2*math.Log(1.25/delta)) / sigma
+	if classical <= 1 {
+		t.Fatalf("test regime broken: classical ε=%v should exceed 1", classical)
+	}
+	if d := gaussianDeltaAt(sigma, classical); d <= delta {
+		t.Fatalf("test regime broken: classical ε=%v is accidentally sound here (δ(ε)=%v)", classical, d)
+	}
+	if eps := gaussianEpsilon(sigma, delta); eps <= classical {
+		t.Errorf("analytic ε=%v ≤ classical %v in the ε>1 regime — conversion still under-prices", eps, classical)
+	}
+}
+
 // TestRuleDominance is the rule-vs-rule wall: for every workload, the
 // reported ε must obey RDP ≤ Advanced ≤ Simple against the same total
 // budget, and no rule may report a δ above the total's.

@@ -180,7 +180,11 @@ type Options struct {
 	// Progress, when non-nil, is called after every epoch (pass, or
 	// sharded merge epoch) with the 1-based epoch number and the
 	// empirical risk of the current (pre-noise) iterate. Setting it
-	// costs one extra pass over the data per epoch.
+	// costs one extra pass over the data per epoch. Gradient
+	// perturbation rejects it: there the exact risk is a data-dependent
+	// release outside the accounted budget (output perturbation keeps
+	// the iterates on the trusted side until the single noisy release,
+	// so the hook is a trusted-side debug tap there).
 	Progress func(epoch int, risk float64)
 }
 

@@ -38,23 +38,30 @@ type GradPerturbSpec struct {
 // PrivateGradPerturbPSGD trains with per-step gradient perturbation
 // (DP-SGD) under Options.Budget:
 //
-//	w_{t+1} = Π_C( w_t − η_t · (Σ_{i∈B_t} clip_C(∇ℓ_i(w_t)) + N(0, (2C·σ̃)²·I)) / |B_t| )
+//	w_{t+1} = Π_C( w_t − η_t · (Σ_{i∈B_t} clip_C(∇ℓ_i(w_t)) + N(0, (2C·σ̃)²·I)) / (q·m) )
 //
-// for T = Passes·⌊m/b⌋ steps, priced as T invocations of the
-// subsampled Gaussian mechanism at sampling fraction q = maxbatch/m
-// (the merged final batch is the largest and hence the conservative
-// fraction) under the accounting rule (Options.Accounting; default rdp
-// — the rule this strategy exists for). The spend is reserved against
-// the accountant — or, without one, trial-priced against the budget —
-// BEFORE any row is touched, so an over-budget run fails closed with
-// zero work done.
+// for T = Passes·⌊m/b⌋ steps, each over an INDEPENDENT Poisson
+// subsample B_t that includes every example with probability q = b/m
+// (sgd.GradPerturb.Poisson) — the sampling scheme the
+// subsampled-Gaussian bounds assume. The run is priced as T invocations
+// of the subsampled Gaussian mechanism at sampling fraction q under the
+// accounting rule (Options.Accounting; default rdp — the rule this
+// strategy exists for). Deterministic permutation batches would visit
+// every example exactly once per pass and admit NO amplification by
+// subsampling, so the engine's usual batching is replaced, not reused.
+// The spend is reserved against the accountant — or, without one,
+// trial-priced against the budget — BEFORE any row is touched, so an
+// over-budget run fails closed with zero work done.
 //
 // Unlike the output-perturbation trainers every iterate is already
 // private (each update is a noisy release and the trajectory is
 // post-processing), so Result.NonPrivate is nil and Average /
-// AverageTail act on private iterates. The strategy is Sequential-only:
-// the subsampled-Gaussian accounting assumes one update stream, and a
-// data-dependent stopping rule (Tol) would invalidate the calibrated T.
+// AverageTail act on private iterates. The strategy is Sequential-only
+// (the subsampled-Gaussian accounting assumes one update stream), and
+// every data-dependent side channel is rejected: Tol would invalidate
+// the calibrated T, and the Progress hook would release the exact
+// per-pass empirical risk outside the accounted budget. FreshPerm does
+// not apply — there is no permutation to resample.
 func PrivateGradPerturbPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 	if opt.GradPerturb == nil {
 		return nil, errors.New("core: PrivateGradPerturbPSGD needs Options.GradPerturb")
@@ -72,6 +79,12 @@ func PrivateGradPerturbPSGD(s sgd.Samples, f loss.Function, opt Options) (*Resul
 	if opt.Tol > 0 {
 		return nil, errors.New("core: gradient perturbation fixes the step count at calibration time; Tol-based early stopping is not allowed")
 	}
+	if opt.Progress != nil {
+		return nil, errors.New("core: gradient perturbation rejects the Progress hook — the per-pass empirical risk is an exact, unaccounted data-dependent release (only the noisy iterates are covered by the budget)")
+	}
+	if opt.FreshPerm {
+		return nil, errors.New("core: gradient perturbation draws an independent Poisson batch every step; FreshPerm does not apply")
+	}
 	if opt.Budget.Delta <= 0 {
 		return nil, fmt.Errorf("core: gradient perturbation is a Gaussian mechanism and needs δ > 0, got %v", opt.Budget)
 	}
@@ -84,16 +97,15 @@ func PrivateGradPerturbPSGD(s sgd.Samples, f loss.Function, opt Options) (*Resul
 		o.Batch = m
 	}
 
-	// The pricing mirrors the engine's batching exactly: ⌊m/b⌋ updates
-	// per pass with the remainder merged into the final batch, whose
-	// size maxBatch is the conservative sampling fraction.
+	// The pricing mirrors the engine's Poisson batching exactly: ⌊m/b⌋
+	// updates per pass, each an independent Poisson subsample at
+	// inclusion probability q = b/m (expected batch size b).
 	updatesPerPass := m / o.Batch
 	if updatesPerPass < 1 {
 		updatesPerPass = 1
 	}
 	steps := o.Passes * updatesPerPass
-	maxBatch := m - (updatesPerPass-1)*o.Batch
-	q := float64(maxBatch) / float64(m)
+	q := float64(o.Batch) / float64(m)
 
 	rule, err := o.accountingRule()
 	if err != nil {
@@ -141,14 +153,13 @@ func PrivateGradPerturbPSGD(s sgd.Samples, f loss.Function, opt Options) (*Resul
 			Radius:      o.Radius,
 			Average:     o.Average,
 			AverageTail: o.AverageTail,
-			FreshPerm:   o.FreshPerm,
 			Rand:        o.Rand,
 			Ctx:         o.Ctx,
-			Progress:    o.Progress,
 			GradPerturb: &sgd.GradPerturb{
-				Clip:  spec.Clip,
-				Sigma: 2 * spec.Clip * sigma,
-				Rand:  o.Rand,
+				Clip:    spec.Clip,
+				Sigma:   2 * spec.Clip * sigma,
+				Rand:    o.Rand,
+				Poisson: true,
 			},
 		},
 	})

@@ -290,6 +290,8 @@ func TestGradPerturbValidationCore(t *testing.T) {
 	}{
 		{"sharded", func(o *Options) { o.Strategy = 1; o.Workers = 2 }, "Sequential-only"},
 		{"tol", func(o *Options) { o.Tol = 1e-3 }, "Tol"},
+		{"progress", func(o *Options) { o.Progress = func(int, float64) {} }, "Progress"},
+		{"freshperm", func(o *Options) { o.FreshPerm = true }, "FreshPerm"},
 		{"pure budget", func(o *Options) { o.Budget = dp.Budget{Epsilon: 2} }, "δ > 0"},
 		{"negative multiplier", func(o *Options) { o.GradPerturb.NoiseMultiplier = -1 }, "NoiseMultiplier"},
 	}

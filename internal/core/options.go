@@ -88,7 +88,9 @@ func WithRand(r *rand.Rand) Option {
 // after every epoch with the 1-based epoch number and the empirical
 // risk of the current (pre-noise, NOT private) iterate. The risk values
 // must not be released under the run's budget — they are for logging
-// and live monitoring on the trusted side only.
+// and live monitoring on the trusted side only. Incompatible with
+// WithGradPerturb, whose iterates leave the trusted side as they are
+// produced: an exact risk value would be an unaccounted release.
 func WithProgress(fn func(epoch int, risk float64)) Option {
 	return func(o *Options) { o.Progress = fn }
 }

@@ -39,6 +39,22 @@ func TestGradPerturbValidation(t *testing.T) {
 			c.GradPerturb = &GradPerturb{Clip: 1, Sigma: 1, Rand: r}
 			c.Tol = 1e-3
 		}, "Tol"},
+		{"with progress", func(c *Config) {
+			c.GradPerturb = &GradPerturb{Clip: 1, Sigma: 1, Rand: r}
+			c.Progress = func(int, float64) {}
+		}, "Progress"},
+		{"poisson with perm", func(c *Config) {
+			c.GradPerturb = &GradPerturb{Clip: 1, Sigma: 1, Rand: r, Poisson: true}
+			c.Perm = make([]int, 100)
+		}, "Poisson"},
+		{"poisson with noperm", func(c *Config) {
+			c.GradPerturb = &GradPerturb{Clip: 1, Sigma: 1, Rand: r, Poisson: true}
+			c.NoPerm = true
+		}, "Poisson"},
+		{"poisson with freshperm", func(c *Config) {
+			c.GradPerturb = &GradPerturb{Clip: 1, Sigma: 1, Rand: r, Poisson: true}
+			c.FreshPerm = true
+		}, "Poisson"},
 	}
 	for _, tc := range cases {
 		cfg := gpBase()
@@ -145,6 +161,60 @@ func TestGradPerturbNoiseDeterministicAndEffective(t *testing.T) {
 	}
 	if math.IsNaN(vec.Norm(a)) {
 		t.Fatal("noisy model has NaNs")
+	}
+}
+
+// TestGradPerturbPoisson: Poisson mode runs the planned Passes·⌊m/b⌋
+// updates over independently drawn batches — deterministic under fixed
+// seeds, different from permutation batching under the same seeds (the
+// whole point: the batches are random subsamples, not a partition),
+// and robust to empty draws at tiny sampling rates.
+func TestGradPerturbPoisson(t *testing.T) {
+	s := separable(rand.New(rand.NewSource(13)), 200, 6)
+	run := func(poisson bool, seed int64, sigma float64) *Result {
+		cfg := gpBase()
+		cfg.Rand = rand.New(rand.NewSource(seed))
+		cfg.GradPerturb = &GradPerturb{Clip: 1, Sigma: sigma, Rand: rand.New(rand.NewSource(seed + 1)), Poisson: poisson}
+		res, err := Run(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(true, 5, 0.5)
+	if want := 3 * (200 / 25); a.Updates != want {
+		t.Fatalf("Poisson Updates = %d, want the calibrated %d", a.Updates, want)
+	}
+	b := run(true, 5, 0.5)
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatalf("same seeds, different Poisson models at %d", i)
+		}
+	}
+	if perm := run(false, 5, 0.5); vec.Equal(a.W, perm.W, 0) {
+		t.Fatal("Poisson batching produced the permutation-batching model; batches are not being subsampled")
+	}
+	if math.IsNaN(vec.Norm(a.W)) {
+		t.Fatal("Poisson model has NaNs")
+	}
+
+	// Rate 1/m: most draws are empty, each update is then pure noise
+	// over the expected lot size — must stay finite and still run the
+	// planned number of updates.
+	cfg := gpBase()
+	cfg.Batch = 1
+	cfg.Passes = 1
+	cfg.Rand = rand.New(rand.NewSource(17))
+	cfg.GradPerturb = &GradPerturb{Clip: 1, Sigma: 0.5, Rand: rand.New(rand.NewSource(18)), Poisson: true}
+	res, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 200 {
+		t.Fatalf("Updates = %d, want 200", res.Updates)
+	}
+	if n := vec.Norm(res.W); math.IsNaN(n) || math.IsInf(n, 0) {
+		t.Fatalf("tiny-rate Poisson model norm = %v", n)
 	}
 }
 

@@ -208,6 +208,18 @@ type GradPerturb struct {
 	// distinct from Config.Rand only if the caller needs permutation
 	// draws to be reproducible independently of the noise draws.
 	Rand *rand.Rand
+	// Poisson replaces the engine's permutation batching with per-step
+	// Poisson subsampling: every update draws an independent batch that
+	// includes each example with probability q = Batch/m (expected batch
+	// size Batch), and the update divides by the EXPECTED lot size q·m
+	// rather than the realized batch size, so an empty draw applies a
+	// pure-noise update. This is the sampling scheme the
+	// subsampled-Gaussian accounting assumes (Abadi et al.'s DP-SGD;
+	// Opacus' Poisson mode) — deterministic permutation batches visit
+	// every example exactly once per pass and admit NO privacy
+	// amplification by subsampling. Config.Rand supplies the inclusion
+	// coins; Perm, NoPerm and FreshPerm are incompatible.
+	Poisson bool
 }
 
 func (c *Config) validate(m int) error {
@@ -264,6 +276,16 @@ func (c *Config) validate(m int) error {
 			// A data-dependent stopping time changes the number of noisy
 			// updates after calibration, voiding the accountant's T.
 			return errors.New("sgd: GradPerturb is incompatible with Tol (the noise calibration fixes the update count)")
+		}
+		if c.Progress != nil {
+			// Same reasoning as Tol: the per-pass empirical risk is an
+			// exact, data-dependent value outside the accounted budget —
+			// in gradient-perturbation runs the only releasable values
+			// are the noisy iterates themselves.
+			return errors.New("sgd: GradPerturb is incompatible with Progress (the per-pass risk is an exact, unaccounted data-dependent release)")
+		}
+		if gp.Poisson && (c.Perm != nil || c.NoPerm || c.FreshPerm) {
+			return errors.New("sgd: GradPerturb.Poisson draws an independent batch every step; Perm, NoPerm and FreshPerm do not apply")
 		}
 	}
 	return nil
@@ -327,8 +349,11 @@ func Run(s Samples, cfg Config) (*Result, error) {
 		copy(w, cfg.W0)
 	}
 
+	gp := cfg.GradPerturb
+	poisson := gp != nil && gp.Poisson
+
 	perm := cfg.Perm
-	if perm == nil && !cfg.NoPerm {
+	if perm == nil && !cfg.NoPerm && !poisson {
 		perm = cfg.Rand.Perm(m)
 	}
 
@@ -354,7 +379,8 @@ func Run(s Samples, cfg Config) (*Result, error) {
 	// batches reach size < 2b; maxBatch bounds the parallel kernel's
 	// per-example buffers.
 	maxBatch := m - (updatesPerPass-1)*b
-	gp := cfg.GradPerturb
+	// Poisson mode: per-step inclusion probability, expected lot size b.
+	rate := float64(b) / float64(m)
 	var noise []float64
 	if gp != nil && gp.Sigma > 0 {
 		noise = make([]float64, d)
@@ -394,30 +420,51 @@ func Run(s Samples, cfg Config) (*Result, error) {
 					return nil, err
 				}
 			}
-			start := u * b
-			end := start + b
-			if u == updatesPerPass-1 {
-				end = m // merge the remainder into the final batch
-			}
-			if dk != nil && end-start >= minParBatch {
-				// Bit-identical to the sequential accumulation below —
-				// see parallel.go — so per-batch dispatch never changes
-				// a result.
-				dk.batch(perm, start, end)
-			} else {
+			var lot float64
+			if poisson {
+				// One independent Poisson draw per update: each example
+				// joins with probability rate = b/m, and the update
+				// divides by the EXPECTED lot size b (a constant), so an
+				// empty draw is a pure-noise update — exactly the
+				// mechanism the subsampled-Gaussian accounting prices.
 				vec.Zero(grad)
-				for i := start; i < end; i++ {
-					idx := i
-					if perm != nil {
-						idx = perm[i]
+				for i := 0; i < m; i++ {
+					if cfg.Rand.Float64() >= rate {
+						continue
 					}
-					x, y := s.At(idx)
+					x, y := s.At(i)
 					cfg.Loss.Grad(gbuf, w, x, y)
-					if gp != nil {
-						clipTo(gbuf, gp.Clip)
-					}
+					clipTo(gbuf, gp.Clip)
 					vec.Axpy(grad, 1, gbuf)
 				}
+				lot = float64(b)
+			} else {
+				start := u * b
+				end := start + b
+				if u == updatesPerPass-1 {
+					end = m // merge the remainder into the final batch
+				}
+				if dk != nil && end-start >= minParBatch {
+					// Bit-identical to the sequential accumulation below —
+					// see parallel.go — so per-batch dispatch never changes
+					// a result.
+					dk.batch(perm, start, end)
+				} else {
+					vec.Zero(grad)
+					for i := start; i < end; i++ {
+						idx := i
+						if perm != nil {
+							idx = perm[i]
+						}
+						x, y := s.At(idx)
+						cfg.Loss.Grad(gbuf, w, x, y)
+						if gp != nil {
+							clipTo(gbuf, gp.Clip)
+						}
+						vec.Axpy(grad, 1, gbuf)
+					}
+				}
+				lot = float64(end - start)
 			}
 			t++
 			if gp != nil && noise != nil {
@@ -426,7 +473,7 @@ func Run(s Samples, cfg Config) (*Result, error) {
 				rng.GaussianVec(gp.Rand, noise, gp.Sigma)
 				vec.Axpy(grad, 1, noise)
 			}
-			vec.Scale(grad, 1/float64(end-start))
+			vec.Scale(grad, 1/lot)
 			if cfg.GradNoise != nil {
 				cfg.GradNoise(t, grad)
 			}
