@@ -30,10 +30,22 @@
 // published model carries its own privacy audit (round-tripped by the
 // serving subsystem's /modelz endpoint).
 //
-// The legacy form Train(s, f, TrainOptions{...}) remains supported and
-// is equivalent (TrainCtx builds a TrainOptions under the hood); it
-// predates the accountant and does not record spends unless
-// TrainOptions.Accountant is set.
+// TrainCtx is the ONE training entry point: algorithm selection is an
+// option (WithConvexity; the default picks Algorithm 2 for strongly
+// convex losses and Algorithm 1 otherwise), as are warm starts
+// (WithWarmStart), gradient perturbation (WithGradPerturb) and the
+// execution strategy. The legacy forms — Train and the per-algorithm
+// PrivateConvexPSGD / PrivateStronglyConvexPSGD — remain as deprecated
+// wrappers producing bit-identical results; new code should not use
+// them.
+//
+// Data can live out of core: OpenStoreDir / AppendStoreSegment manage
+// an append-only segment directory (immutable store files behind a
+// CRC'd manifest with fail-closed ingest integrity checks) that trains
+// in O(chunk) memory, and NewContinualTrainer retrains over a growing
+// directory under one fixed total budget, one audited window per
+// retrain — the online ingestion loop cmd/dpsgd exposes as -ingest /
+// -online.
 //
 // The white-box baselines the paper compares against (SCS13, BST14),
 // the Bismarck-style in-RDBMS substrate, the private tuning algorithm
@@ -94,6 +106,15 @@ type (
 	TrainOption = core.Option
 	// TrainResult reports a private training run; only W is private.
 	TrainResult = core.Result
+	// TrainConvexity selects the algorithm TrainCtx runs (see
+	// WithConvexity); the zero value picks from the loss's constants.
+	TrainConvexity = core.Convexity
+	// ContinualTrainer retrains over growing data under one fixed total
+	// budget: the accountant's remainder is split into N windows up
+	// front, every Retrain spends exactly one window warm-started from
+	// the previous released model, and the (N+1)-th retrain fails
+	// closed with ErrBudgetOverdraw before reading a single row.
+	ContinualTrainer = core.ContinualTrainer
 	// Accountant owns a total (ε, δ) privacy budget: every training run
 	// that draws from it is debited in an auditable ledger, and a
 	// request exceeding the remainder fails closed (ErrBudgetOverdraw)
@@ -144,6 +165,12 @@ type (
 	// StoreOptions configures store conversion (chunk geometry, class
 	// count override).
 	StoreOptions = store.Options
+	// StoreDir is an append-only segment directory: immutable store
+	// files behind a CRC'd manifest, trained as one logical dataset
+	// (it implements Samples, SparseSamples and the sharding contract).
+	// Grow it with AppendStoreSegment — ingest is fail-closed behind
+	// dim / label-set / density invariants and full CRC verification.
+	StoreDir = store.Dir
 	// Table is the Bismarck-style page-organized table.
 	Table = bismarck.Table
 	// UDATrainConfig configures in-RDBMS training via the UDA
@@ -223,6 +250,34 @@ func CreateStore(path string, opt StoreOptions) (*StoreWriter, error) {
 	return store.Create(path, opt)
 }
 
+// Segment directories (see DESIGN.md §12): the growing form of the
+// store. New data arrives as whole immutable segments, visibility is a
+// manifest commit, and training over the union is bit-identical to
+// training over one concatenated file.
+
+// OpenStoreDir opens a segment directory as one logical dataset. Like
+// OpenStore it fails closed: a manifest/CRC mismatch or cross-segment
+// disagreement (dim, label set) is an error, never silently wrong rows.
+func OpenStoreDir(dir string) (*StoreDir, error) { return store.OpenDir(dir) }
+
+// AppendStoreSegment appends src as a new immutable segment of dir
+// (creating the directory on first use) and returns the segment's file
+// name. The segment becomes visible only after it passes the
+// fail-closed integrity gate — structural and payload CRCs plus the
+// directory's dim / label-set / density invariants; on any failure the
+// directory is exactly as before.
+func AppendStoreSegment(dir string, src SparseSamples, opt StoreOptions) (string, error) {
+	return store.AppendSegment(dir, src, opt)
+}
+
+// CompactStoreDir merges runs of adjacent segments smaller than
+// minRows into consolidated segments, bit-identical for training (row
+// order, value bits, and every strategy's output are pinned unchanged).
+// It returns the segment counts before and after.
+func CompactStoreDir(dir string, minRows int) (before, after int, err error) {
+	return store.Compact(dir, minRows)
+}
+
 // Budget accounting (see DESIGN.md §6).
 
 // ErrBudgetOverdraw is wrapped by every reservation an Accountant
@@ -266,6 +321,14 @@ func NewAccountantWithRule(rule string, total Budget) (*Accountant, error) {
 // ParseLedger decodes a ledger serialized by Accountant.StampMeta.
 func ParseLedger(s string) (*Ledger, error) { return account.ParseLedger(s) }
 
+// RestoreAccountant rebuilds a live accountant from a ledger — the
+// resume path for continual training across process restarts: read the
+// published model's ledger with LedgerFromMeta, restore, and hand the
+// result to NewContinualTrainer. The replay is fail-closed: a ledger
+// whose recorded spends exceed its stated total, or whose arithmetic
+// does not reproduce under its own composition rule, is rejected.
+func RestoreAccountant(l *Ledger) (*Accountant, error) { return account.Restore(l) }
+
 // LedgerFromMeta extracts the ledger a model-metadata map carries; ok
 // is false when the model was not published through an accountant.
 func LedgerFromMeta(meta map[string]string) (l *Ledger, ok bool, err error) {
@@ -274,15 +337,42 @@ func LedgerFromMeta(meta map[string]string) (l *Ledger, ok bool, err error) {
 
 // Training.
 
-// TrainCtx is the primary training entry point: bolt-on private PSGD
+// TrainCtx is THE training entry point: bolt-on private PSGD
 // (Algorithm 2 when the loss is strongly convex, Algorithm 1
-// otherwise), configured by functional options and cancellable through
-// ctx — every execution strategy polls the context once per mini-batch
-// update, so cancellation or deadline expiry stops the run within one
-// epoch slice with ctx.Err().
+// otherwise — override with WithConvexity), configured by functional
+// options and cancellable through ctx — every execution strategy polls
+// the context once per mini-batch update, so cancellation or deadline
+// expiry stops the run within one epoch slice with ctx.Err().
+//
+// Every other training form in this package (Train, PrivateConvexPSGD,
+// PrivateStronglyConvexPSGD) is a deprecated equivalent of a TrainCtx
+// call, kept bit-identical for existing callers.
 func TrainCtx(ctx context.Context, s Samples, f LossFunction, opts ...TrainOption) (*TrainResult, error) {
 	return core.TrainCtx(ctx, s, f, opts...)
 }
+
+// Algorithm selectors for WithConvexity.
+const (
+	// ConvexityAuto (the default) picks Algorithm 2 when the loss's
+	// constants state strong convexity (γ > 0), Algorithm 1 otherwise.
+	ConvexityAuto = core.ConvexityAuto
+	// ConvexityConvex forces Algorithm 1 (valid for every convex loss,
+	// including strongly convex ones — the bound is just looser).
+	ConvexityConvex = core.ConvexityConvex
+	// ConvexityStronglyConvex forces Algorithm 2 (requires γ > 0;
+	// training fails closed otherwise).
+	ConvexityStronglyConvex = core.ConvexityStronglyConvex
+)
+
+// WithConvexity pins which of the paper's two algorithms TrainCtx
+// runs, instead of deriving it from the loss's constants.
+func WithConvexity(c TrainConvexity) TrainOption { return core.WithConvexity(c) }
+
+// WithWarmStart starts the SGD iterate sequence from w0 (a copy)
+// instead of the origin. Warm starts are privacy-free when w0 is a
+// previously RELEASED private model (post-processing); the noise is
+// always calibrated to the full sensitivity of the new run.
+func WithWarmStart(w0 []float64) TrainOption { return core.WithWarmStart(w0) }
 
 // WithBudget sets the privacy budget the released model is calibrated
 // to. Combined with WithAccountant the budget is reserved (fail-closed)
@@ -346,26 +436,47 @@ func WithGradPerturb(clip, noiseMultiplier float64) TrainOption {
 	return core.WithGradPerturb(clip, noiseMultiplier)
 }
 
-// Train runs the bolt-on private PSGD appropriate for the loss:
-// Algorithm 2 when the loss is strongly convex, Algorithm 1 otherwise.
-// The execution strategy (sequential, sharded across workers, or
-// streaming) is selected by TrainOptions.Strategy and Workers.
+// Train runs the bolt-on private PSGD appropriate for the loss.
 //
-// Train is the struct-literal form of TrainCtx and remains fully
-// supported; it accounts and cancels the same way when
-// TrainOptions.Accountant / Ctx are set.
+// Deprecated: use TrainCtx with functional options (bit-identical;
+// WithTrainOptions(opt) carries a full TrainOptions over).
 func Train(s Samples, f LossFunction, opt TrainOptions) (*TrainResult, error) {
 	return core.Train(s, f, opt)
 }
 
 // PrivateConvexPSGD is Algorithm 1 of the paper (convex losses).
+//
+// Deprecated: use TrainCtx with WithConvexity(ConvexityConvex)
+// (bit-identical).
 func PrivateConvexPSGD(s Samples, f LossFunction, opt TrainOptions) (*TrainResult, error) {
 	return core.PrivateConvexPSGD(s, f, opt)
 }
 
 // PrivateStronglyConvexPSGD is Algorithm 2 (strongly convex losses).
+//
+// Deprecated: use TrainCtx with WithConvexity(ConvexityStronglyConvex)
+// (bit-identical).
 func PrivateStronglyConvexPSGD(s Samples, f LossFunction, opt TrainOptions) (*TrainResult, error) {
 	return core.PrivateStronglyConvexPSGD(s, f, opt)
+}
+
+// Continual training (see DESIGN.md §12).
+
+// NewContinualTrainer builds a continual trainer drawing windows equal
+// shares of acct's current remainder; base options apply to every
+// window's run (budget, accountant, spend label and warm start are
+// managed by the trainer and always win). An accountant restored from
+// a ledger already carrying window spends resumes the sequence instead
+// of re-splitting.
+func NewContinualTrainer(acct *Accountant, windows int, f LossFunction, base ...TrainOption) (*ContinualTrainer, error) {
+	return core.NewContinualTrainer(acct, windows, f, base...)
+}
+
+// NewContinualRDP is NewContinualTrainer over a fresh AccountingRDP
+// accountant owning total — the default configuration of the online
+// retraining loop (the rdp rule prices a window sequence tightest).
+func NewContinualRDP(total Budget, windows int, f LossFunction, base ...TrainOption) (*ContinualTrainer, error) {
+	return core.NewContinualRDP(total, windows, f, base...)
 }
 
 // Baselines.

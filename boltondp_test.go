@@ -618,3 +618,71 @@ func TestFacadeOutOfCoreStore(t *testing.T) {
 		}
 	}
 }
+
+// The online surface through the facade alone: grow a segment
+// directory, train continually under one budget, resume from the
+// stamped ledger.
+func TestFacadeSegmentDirContinual(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	train, _ := KDDSimSparse(r, 0.002)
+	dir := filepath.Join(t.TempDir(), "kdd.segdir")
+	if _, err := AppendStoreSegment(dir, train, StoreOptions{ChunkRows: 128}); err != nil {
+		t.Fatal(err)
+	}
+	more, _ := KDDSimSparse(rand.New(rand.NewSource(32)), 0.001)
+	if _, err := AppendStoreSegment(dir, more, StoreOptions{ChunkRows: 128}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenStoreDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Len() != train.Len()+more.Len() {
+		t.Fatalf("union rows %d, want %d", d.Len(), train.Len()+more.Len())
+	}
+
+	f := NewLogisticLoss(1e-2)
+	ct, err := NewContinualRDP(Budget{Epsilon: 2, Delta: 1e-6}, 2, f,
+		WithPasses(1), WithBatch(10), WithRadius(100),
+		WithRand(rand.New(rand.NewSource(5))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.Retrain(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart story: ledger → metadata → RestoreAccountant → resume.
+	meta := map[string]string{}
+	if err := ct.Accountant().StampMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	l, ok, err := LedgerFromMeta(meta)
+	if err != nil || !ok {
+		t.Fatalf("ledger round trip: ok=%v err=%v", ok, err)
+	}
+	acct, err := RestoreAccountant(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := NewContinualTrainer(acct, 2, f,
+		WithPasses(1), WithBatch(10), WithRadius(100),
+		WithRand(rand.New(rand.NewSource(6))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct2.Window() != 1 {
+		t.Fatalf("resumed at window %d, want 1", ct2.Window())
+	}
+	if _, err := ct2.Retrain(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct2.Retrain(context.Background(), d); !errors.Is(err, ErrBudgetOverdraw) {
+		t.Fatalf("third window err = %v, want ErrBudgetOverdraw", err)
+	}
+
+	if before, after, err := CompactStoreDir(dir, 1<<20); err != nil || after >= before {
+		t.Fatalf("compaction: before=%d after=%d err=%v", before, after, err)
+	}
+}

@@ -384,6 +384,75 @@ func (a *Accountant) StampMeta(meta map[string]string) error {
 	return nil
 }
 
+// Restore rebuilds a live accountant from a ledger snapshot, replaying
+// every recorded reservation through the ledger's composition rule so
+// the restored accountant prices future reservations exactly as the
+// original would have. This is how continual training resumes: the live
+// model's metadata carries the ledger (StampMeta), and a later process
+// restores the accountant from it to draw the next window.
+//
+// Restore fails closed: a ledger whose replayed composed spend exceeds
+// its stated total (corruption, or hand-edited entries) returns an
+// error wrapping ErrOverdraw, and one whose replayed spend disagrees
+// with its recorded spend is rejected as inconsistent — except for the
+// Split-exhaustion case (recorded spend pinned to the total exactly),
+// which restores as an exhausted accountant.
+func Restore(l *Ledger) (*Accountant, error) {
+	if l == nil {
+		return nil, errors.New("account: Restore of a nil ledger")
+	}
+	a, err := NewWithRule(l.Rule, l.Total())
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range l.Entries {
+		var ev compose.Event
+		switch compose.Kind(e.Kind) {
+		case compose.KindPure:
+			ev = compose.Pure(e.Epsilon)
+		case compose.KindGaussian:
+			ev = compose.Gaussian(e.Sigma, e.Steps, e.Budget())
+		case compose.KindSGM:
+			ev = compose.SGM(e.Sigma, e.Q, e.Steps, e.Delta)
+		default:
+			ev = compose.Fixed(e.Budget())
+		}
+		if err := ev.Validate(); err != nil {
+			return nil, fmt.Errorf("account: restoring ledger entry %d (%q): %w", i, e.Label, err)
+		}
+		a.comp.Add(ev)
+	}
+	a.entries = append([]Entry(nil), l.Entries...)
+	spent := a.comp.Spent(a.total)
+	if exceeds(spent.Epsilon, a.total.Epsilon) || exceeds(spent.Delta, a.total.Delta) {
+		return nil, fmt.Errorf("%w: ledger replays to %v over total %v", ErrOverdraw, spent, a.total)
+	}
+	rec := l.Spent()
+	if rec == l.Total() && spent != rec {
+		// Split drained the accountant to exactly its total; the fixed
+		// child entries replay to the pre-rounding remainder instead.
+		a.exhausted = true
+	} else if !close2(spent.Epsilon, rec.Epsilon) || !close2(spent.Delta, rec.Delta) {
+		return nil, fmt.Errorf("account: inconsistent ledger: entries replay to %v, ledger records %v", spent, rec)
+	}
+	return a, nil
+}
+
+// close2 is the replay-consistency tolerance of Restore: the replayed
+// composed spend must match the recorded one up to floating-point
+// noise.
+func close2(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= 1e-9*m+1e-12
+}
+
 // ParseLedger decodes a ledger serialized by StampMeta.
 func ParseLedger(s string) (*Ledger, error) {
 	var l Ledger

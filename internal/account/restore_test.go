@@ -1,0 +1,117 @@
+package account
+
+import (
+	"errors"
+	"testing"
+
+	"boltondp/internal/account/compose"
+	"boltondp/internal/dp"
+	"boltondp/internal/rng"
+)
+
+// TestRestoreRoundTripPerRule pins the continual-training resume
+// contract: Ledger → Restore → Ledger is Same under every composition
+// rule, and the restored accountant prices the NEXT reservation exactly
+// as the original would have.
+func TestRestoreRoundTripPerRule(t *testing.T) {
+	total := dp.Budget{Epsilon: 4, Delta: 1e-5}
+	for _, rule := range compose.Rules() {
+		t.Run(rule, func(t *testing.T) {
+			a := mustRule(t, rule, total)
+			if err := a.ReservePure("warmup", 0.3); err != nil {
+				t.Fatal(err)
+			}
+			b := dp.Budget{Epsilon: 0.5, Delta: 4e-6}
+			if err := a.ReserveGaussian("train", rng.GaussianSigma(1, b.Epsilon, b.Delta), 1, b); err != nil {
+				t.Fatal(err)
+			}
+			if rule == compose.RuleRDP {
+				// sgm entries only fit under the curve-capable rule.
+				if err := a.ReserveSubsampledGaussian("gp", 1.5, 0.01, 200, 2e-6); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			l := a.Ledger()
+			r, err := Restore(l)
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if !r.Ledger().Same(l) {
+				t.Fatalf("restored ledger differs:\n got %+v\nwant %+v", r.Ledger(), l)
+			}
+			if got, want := r.Remaining(), a.Remaining(); got != want {
+				t.Fatalf("Remaining() = %v after restore, want %v", got, want)
+			}
+
+			// The next reservation must price identically on both.
+			next := dp.Budget{Epsilon: 0.2}
+			errA := a.Reserve("next", next)
+			errR := r.Reserve("next", next)
+			if (errA == nil) != (errR == nil) {
+				t.Fatalf("next reservation diverged: original %v, restored %v", errA, errR)
+			}
+			if !r.Ledger().Same(a.Ledger()) {
+				t.Fatalf("ledgers diverged after the next reservation")
+			}
+		})
+	}
+}
+
+// TestRestoreSplitExhaustion: an accountant drained by Split restores
+// as exhausted — the recorded spend stays pinned to the total and any
+// further reservation fails closed.
+func TestRestoreSplitExhaustion(t *testing.T) {
+	a := MustNew(dp.Budget{Epsilon: 3})
+	if err := a.ReservePure("head", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Split("window", 3); err != nil {
+		t.Fatal(err)
+	}
+	l := a.Ledger()
+	r, err := Restore(l)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !r.Ledger().Same(l) {
+		t.Fatalf("restored ledger differs")
+	}
+	if got := r.Remaining(); got.Epsilon != 0 {
+		t.Fatalf("Remaining() = %v after restoring an exhausted accountant, want zero", got)
+	}
+	if err := r.Reserve("extra", dp.Budget{Epsilon: 1e-6}); !errors.Is(err, ErrOverdraw) {
+		t.Fatalf("Reserve on restored exhausted accountant = %v, want ErrOverdraw", err)
+	}
+}
+
+// TestRestoreFailsClosed: corrupt ledgers are rejected, not silently
+// accepted with a larger-than-stated remainder.
+func TestRestoreFailsClosed(t *testing.T) {
+	if _, err := Restore(nil); err == nil {
+		t.Error("Restore(nil) succeeded")
+	}
+
+	a := MustNew(dp.Budget{Epsilon: 1})
+	if err := a.ReservePure("x", 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	over := a.Ledger()
+	over.Entries = append(over.Entries, Entry{Label: "forged", Epsilon: 2})
+	if _, err := Restore(over); !errors.Is(err, ErrOverdraw) {
+		t.Errorf("Restore of over-total ledger = %v, want ErrOverdraw", err)
+	}
+
+	bad := a.Ledger()
+	bad.SpentEpsilon = 0.1 // disagrees with what the entries replay to
+	if _, err := Restore(bad); err == nil {
+		t.Error("Restore of inconsistent ledger succeeded")
+	}
+
+	neg := a.Ledger()
+	neg.Entries[0].Epsilon = -1
+	if _, err := Restore(neg); err == nil {
+		t.Error("Restore of negative-ε entry succeeded")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"boltondp/internal/engine"
 	"boltondp/internal/eval"
 	"boltondp/internal/loss"
+	"boltondp/internal/online"
 	"boltondp/internal/serve"
 	"boltondp/internal/sgd"
 	"boltondp/internal/store"
@@ -61,6 +62,23 @@ type DPSGDConfig struct {
 	SavePath      string
 	Publish       string
 	Timeout       time.Duration
+	// Ingest appends a LIBSVM file as a new segment to the -cache
+	// segment directory (fail-closed integrity checks) and runs the
+	// drift detector; with Online set, drift triggers a warm continual
+	// retrain and a canary publish into the -publish registry.
+	Ingest string
+	Online bool
+	// Windows is the continual-training window count: the accountant's
+	// remaining budget is split N ways and each drift-triggered retrain
+	// spends exactly one window.
+	Windows int
+	// CanaryPct is the traffic percentage a drift-triggered canary
+	// model receives in the registry.
+	CanaryPct int
+	// DriftLabel and DriftMargin override the drift thresholds
+	// (0 = package defaults).
+	DriftLabel  float64
+	DriftMargin float64
 }
 
 // ParseDPSGD parses args (excluding argv[0]) into a config.
@@ -91,6 +109,12 @@ func ParseDPSGD(args []string, stderr io.Writer) (*DPSGDConfig, error) {
 	fs.StringVar(&cfg.SavePath, "save", "", "write the trained model (JSON) to this path")
 	fs.StringVar(&cfg.Publish, "publish", "", "publish the trained model into this registry directory (serve it with dpserve -models)")
 	fs.DurationVar(&cfg.Timeout, "timeout", 0, "cancel training after this duration, e.g. 30s or 2m (0 = no limit)")
+	fs.StringVar(&cfg.Ingest, "ingest", "", "append this LIBSVM file as a new segment to the -cache segment directory (fail-closed integrity checks) and report drift; with -online, drift triggers a warm continual retrain and canary publish")
+	fs.BoolVar(&cfg.Online, "online", false, "continual training: a drifting -ingest segment spends one budget window on a warm-started retrain and stages a canary in the -publish registry")
+	fs.IntVar(&cfg.Windows, "windows", 4, "continual budget windows for -online (the remaining privacy budget is split N ways)")
+	fs.IntVar(&cfg.CanaryPct, "canary-pct", 10, "traffic percentage a drift-triggered canary model receives")
+	fs.Float64Var(&cfg.DriftLabel, "drift-label", 0, "label-rate drift threshold (0 = default 0.2)")
+	fs.Float64Var(&cfg.DriftMargin, "drift-margin", 0, "mean-margin drift threshold (0 = default 0.5)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -106,8 +130,26 @@ func ParseDPSGD(args []string, stderr io.Writer) (*DPSGDConfig, error) {
 	if cfg.ChunkRows > 0 && cfg.CachePath == "" {
 		return nil, fmt.Errorf("cli: -chunk only applies to the -cache conversion")
 	}
-	if cfg.CachePath != "" && cfg.DataPath == "" {
+	if cfg.CachePath != "" && cfg.DataPath == "" && cfg.Ingest == "" {
 		return nil, fmt.Errorf("cli: -cache converts a -data file; give one")
+	}
+	if cfg.Ingest != "" && cfg.CachePath == "" {
+		return nil, fmt.Errorf("cli: -ingest appends to a -cache segment directory; give one")
+	}
+	if cfg.Online && cfg.Ingest == "" {
+		return nil, fmt.Errorf("cli: -online reacts to an ingested segment; give -ingest")
+	}
+	if cfg.Online && cfg.Publish == "" {
+		return nil, fmt.Errorf("cli: -online retrains the live model of a -publish registry; give one")
+	}
+	if cfg.Windows < 1 {
+		return nil, fmt.Errorf("cli: -windows must be >= 1, got %d", cfg.Windows)
+	}
+	if cfg.CanaryPct < 0 || cfg.CanaryPct > 100 {
+		return nil, fmt.Errorf("cli: -canary-pct must be in [0,100], got %d", cfg.CanaryPct)
+	}
+	if cfg.DriftLabel < 0 || cfg.DriftMargin < 0 {
+		return nil, fmt.Errorf("cli: drift thresholds must be >= 0")
 	}
 	if cfg.Accounting != "" {
 		if _, err := compose.New(compose.Normalize(cfg.Accounting)); err != nil {
@@ -164,6 +206,9 @@ func RunDPSGDCtx(ctx context.Context, cfg *DPSGDConfig, out io.Writer) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
 		defer cancel()
+	}
+	if cfg.Ingest != "" {
+		return runIngest(ctx, cfg, out)
 	}
 	if cfg.Publish != "" {
 		// Fail before training, not after: a rejected name would
@@ -422,68 +467,216 @@ func publishName(cfg *DPSGDConfig) string {
 	return modelStem(cfg.DataPath)
 }
 
-// openOrConvertStore resolves the -cache flag: reuse an existing store
-// file, or convert the -data LIBSVM file into one in a single
-// streaming pass (parse → normalize row → append; O(chunk) memory).
-// The pass that parses is the pass that estimates the density — the
-// estimate is read off the writer, never from a second scan of the
-// file.
-func openOrConvertStore(ctx context.Context, cfg *DPSGDConfig, out io.Writer) (*store.Reader, error) {
-	if _, err := os.Stat(cfg.CachePath); err == nil {
-		rd, err := store.Open(cfg.CachePath)
+// runIngest implements dpsgd -ingest: append one LIBSVM file as a new
+// segment of the -cache segment directory behind the store's
+// fail-closed integrity gate. Without -online that is the whole job
+// (plus a drift report is impossible — there is no live model to
+// measure margins under); with -online the online.Runner closes the
+// loop: drift past the thresholds spends one continual budget window
+// on a warm-started retrain over the full union and stages the result
+// as a canary in the -publish registry.
+func runIngest(ctx context.Context, cfg *DPSGDConfig, out io.Writer) error {
+	dir, err := store.OpenDir(cfg.CachePath)
+	if err != nil {
+		return fmt.Errorf("cli: -ingest needs an existing -cache segment directory (train with -cache first): %w", err)
+	}
+	defer dir.Close()
+
+	src, err := data.LoadLIBSVMSparse(cfg.Ingest, dir.Dim())
+	if err != nil {
+		return err
+	}
+	// Same unit-ball normalization as every other entry path; labels
+	// arrive through the loader already remapped to ±1, so the segment
+	// writer must NOT remap again.
+	src.Normalize()
+	opt := store.Options{ChunkRows: cfg.ChunkRows}
+
+	if !cfg.Online {
+		seg, err := store.AppendSegment(dir.Path(), src, opt)
 		if err != nil {
-			return nil, fmt.Errorf("cli: reusing -cache failed (delete it to reconvert): %w", err)
+			return fmt.Errorf("cli: ingest rejected: %w", err)
 		}
-		if cfg.ChunkRows > 0 && rd.ChunkRows() != cfg.ChunkRows {
-			fmt.Fprintf(out, "store: -chunk %d ignored — %s was written with %d-row chunks (delete it to reconvert)\n",
-				cfg.ChunkRows, cfg.CachePath, rd.ChunkRows())
+		if err := dir.Reload(); err != nil {
+			return err
 		}
-		fmt.Fprintf(out, "store: reusing %s (m=%d d=%d density=%.4f, %d chunks)\n",
-			cfg.CachePath, rd.Len(), rd.Dim(), rd.Density(), rd.Chunks())
-		return rd, nil
+		fmt.Fprintf(out, "ingest: segment %s appended (+%d rows, union m=%d d=%d density=%.4f, %d segments)\n",
+			seg, src.Len(), dir.Len(), dir.Dim(), dir.Density(), len(dir.SegmentNames()))
+		return nil
 	}
 
-	start := time.Now()
-	// RemapLabels01: this path writes raw, never-loaded labels, so the
-	// loaders' {0,1} → ±1 convenience remap must be asked for here to
-	// keep -cache and plain -data training equivalent.
-	w, err := store.Create(cfg.CachePath, store.Options{ChunkRows: cfg.ChunkRows, RemapLabels01: true})
+	reg, err := serve.NewRegistry(cfg.Publish)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	live := reg.Live()
+	if live == nil {
+		return fmt.Errorf("cli: -online needs a live model in %s (train with -publish first)", cfg.Publish)
+	}
+
+	// The continual budget resumes from the ledger stamped into the
+	// live model when it records window spends — windows spent by an
+	// earlier process stay spent, fail-closed. A live model whose
+	// ledger only records its own (typically exhausting) initial
+	// training spend, or none at all, starts the continual phase on a
+	// fresh grant from -eps/-delta under the rdp rule by default (the
+	// rule that prices a window sequence tightest).
+	rule := compose.Normalize(cfg.Accounting)
+	if cfg.Accounting == "" {
+		rule = compose.RuleRDP
+	}
+	var acct *account.Accountant
+	if l, ok, err := account.LedgerFromMeta(live.Meta); err != nil {
+		return err
+	} else if ok && core.ContinualWindowsSpent(l) > 0 {
+		if acct, err = account.Restore(l); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "online: resuming the live model's continual ledger (%d window spends recorded)\n",
+			core.ContinualWindowsSpent(l))
+	} else {
+		if acct, err = account.NewWithRule(rule, dp.Budget{Epsilon: cfg.Eps, Delta: cfg.Delta}); err != nil {
+			return err
+		}
+	}
+
+	var f loss.Function
+	switch cfg.LossName {
+	case "logistic":
+		f = loss.NewLogistic(cfg.Lambda, 0)
+	case "huber":
+		f = loss.NewHuber(cfg.HuberH, cfg.Lambda, 0)
+	default:
+		return fmt.Errorf("cli: unknown loss %q", cfg.LossName)
+	}
+	radius := 0.0
+	if cfg.Lambda > 0 {
+		radius = 1 / cfg.Lambda
+	}
+	trainer, err := core.NewContinualTrainer(acct, cfg.Windows, f,
+		core.WithPasses(cfg.Passes), core.WithBatch(cfg.Batch), core.WithRadius(radius),
+		core.WithKernelWorkers(cfg.KernelWorkers),
+		core.WithRand(rand.New(rand.NewSource(cfg.Seed))),
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "online: continual budget %v over %d windows (%v each, rule=%s), %d/%d spent\n",
+		acct.Total(), trainer.Windows(), trainer.WindowBudget(), acct.Rule(), trainer.Window(), trainer.Windows())
+
+	run := &online.Runner{
+		Dir:      dir,
+		Registry: reg,
+		Trainer:  trainer,
+		Thresholds: online.Thresholds{
+			LabelRate: cfg.DriftLabel,
+			Margin:    cfg.DriftMargin,
+		},
+		CanaryPct: cfg.CanaryPct,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		},
+	}
+	rep, err := run.Ingest(ctx, src, opt)
+	if rep != nil {
+		fmt.Fprintf(out, "drift: segment %s  Δlabel=%.3f Δmargin=%.3f  fired=%v\n",
+			rep.Segment, rep.LabelShift, rep.MarginShift, rep.Fired)
+	}
+	if err != nil {
+		return err
+	}
+	if rep.Fired {
+		if name, pct, _, _ := reg.Canary(); name != nil {
+			fmt.Fprintf(out, "canary: %q staged at %d%% in %s (promote with dpserve -live %s or roll back by clearing the canary)\n",
+				name.Name, pct, cfg.Publish, name.Name)
+		}
+	}
+	return nil
+}
+
+// storeSource is the store-backed dataset surface RunDPSGDCtx trains
+// from, satisfied by both the single-file store.Reader (legacy caches)
+// and the segment-directory store.Dir. A one-segment directory is
+// bit-identical to the single file for training purposes (pinned by
+// the store parity tests), so which one backs -cache is invisible to
+// everything downstream of this interface.
+type storeSource interface {
+	sgd.Samples
+	engine.Sharder
+	Classes() int
+	Density() float64
+	Close() error
+}
+
+// scanLIBSVMNormalized streams path row-by-row into emit, applying the
+// same unit-ball normalization the in-memory path applies with
+// Normalize(), and polling ctx once per stride of rows.
+func scanLIBSVMNormalized(ctx context.Context, path string, emit func(x *vec.Sparse, y float64) error) error {
 	const ctxStride = 4096 // poll cadence: one Err check per stride of rows
 	n := 0
-	err = data.ScanLIBSVM(cfg.DataPath, func(row *vec.Sparse, y float64) error {
+	return data.ScanLIBSVM(path, func(row *vec.Sparse, y float64) error {
 		if n%ctxStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
 		n++
-		// The same unit-ball normalization the in-memory path applies
-		// with Normalize(), done per row while it is still in flight.
 		if nrm := row.Norm(); nrm > 1 {
 			row.Scale(1 / nrm)
 		}
-		return w.Append(row, y)
+		return emit(row, y)
 	})
-	if err == nil {
-		err = w.Close()
-		if err != nil {
-			os.Remove(cfg.CachePath)
+}
+
+// openOrConvertStore resolves the -cache flag. An existing regular
+// file is a legacy single-file store and opens as before; everything
+// else routes through the segment API: an existing directory is
+// reused, and a fresh path converts the -data LIBSVM file into a
+// one-segment directory in a single streaming pass (parse → normalize
+// row → append; O(chunk) memory). The dataset is never resident in
+// RAM either way.
+func openOrConvertStore(ctx context.Context, cfg *DPSGDConfig, out io.Writer) (storeSource, error) {
+	if fi, err := os.Stat(cfg.CachePath); err == nil {
+		if !fi.IsDir() {
+			rd, err := store.Open(cfg.CachePath)
+			if err != nil {
+				return nil, fmt.Errorf("cli: reusing -cache failed (delete it to reconvert): %w", err)
+			}
+			if cfg.ChunkRows > 0 && rd.ChunkRows() != cfg.ChunkRows {
+				fmt.Fprintf(out, "store: -chunk %d ignored — %s was written with %d-row chunks (delete it to reconvert)\n",
+					cfg.ChunkRows, cfg.CachePath, rd.ChunkRows())
+			}
+			fmt.Fprintf(out, "store: reusing %s (m=%d d=%d density=%.4f, %d chunks)\n",
+				cfg.CachePath, rd.Len(), rd.Dim(), rd.Density(), rd.Chunks())
+			return rd, nil
 		}
-	} else {
-		w.Abort()
+		d, err := store.OpenDir(cfg.CachePath)
+		if err != nil {
+			return nil, fmt.Errorf("cli: reusing -cache failed (delete it to reconvert): %w", err)
+		}
+		fmt.Fprintf(out, "store: reusing %s (m=%d d=%d density=%.4f, %d segments)\n",
+			cfg.CachePath, d.Len(), d.Dim(), d.Density(), len(d.SegmentNames()))
+		return d, nil
 	}
+
+	start := time.Now()
+	// RemapLabels01: this path writes raw, never-loaded labels, so the
+	// loaders' {0,1} → ±1 convenience remap must be asked for here to
+	// keep -cache and plain -data training equivalent.
+	seg, err := store.AppendSegmentScan(cfg.CachePath, 0,
+		store.Options{ChunkRows: cfg.ChunkRows, RemapLabels01: true},
+		func(emit func(x *vec.Sparse, y float64) error) error {
+			return scanLIBSVMNormalized(ctx, cfg.DataPath, emit)
+		})
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(out, "store: converted %s → %s in %v (m=%d d=%d nnz=%d density=%.4f)\n",
+	d, err := store.OpenDir(cfg.CachePath)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "store: converted %s → %s in %v (segment %s: m=%d d=%d nnz=%d density=%.4f)\n",
 		cfg.DataPath, cfg.CachePath, time.Since(start).Round(time.Millisecond),
-		w.Rows(), w.Dim(), w.NNZ(), w.Density())
-	rd, err := store.Open(cfg.CachePath)
-	if err != nil {
-		return nil, err
-	}
-	return rd, nil
+		seg, d.Len(), d.Dim(), d.NNZ(), d.Density())
+	return d, nil
 }

@@ -1,0 +1,208 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"boltondp/internal/serve"
+)
+
+// libsvmFileWithRate writes a sparse LIBSVM file whose +1 label rate is
+// posPerTen/10, on the same d=50 layout as sparseLIBSVMFile.
+func libsvmFileWithRate(t *testing.T, dir, name string, rows, posPerTen int) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	var b strings.Builder
+	for i := 0; i < rows; i++ {
+		if i%10 < posPerTen {
+			b.WriteString("1 3:0.8 50:0.1\n")
+		} else {
+			b.WriteString("-1 7:-0.8 50:0.1\n")
+		}
+	}
+	if err := writeFile(path, b.String()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The -ingest / -online flags: parse validation.
+func TestParseDPSGDOnlineFlags(t *testing.T) {
+	cfg, err := ParseDPSGD([]string{"-cache", "x.dir", "-ingest", "new.libsvm"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Ingest != "new.libsvm" || cfg.Online || cfg.Windows != 4 || cfg.CanaryPct != 10 {
+		t.Errorf("parsed: %+v", cfg)
+	}
+	if _, err := ParseDPSGD([]string{"-cache", "x.dir", "-ingest", "n.libsvm", "-online", "-publish", "reg"}, io.Discard); err != nil {
+		t.Fatalf("full online invocation rejected: %v", err)
+	}
+	for _, tc := range [][]string{
+		{"-ingest", "n.libsvm"},                          // -ingest without -cache
+		{"-data", "x.libsvm", "-online"},                 // -online without -ingest
+		{"-cache", "x.dir", "-ingest", "n.l", "-online"}, // -online without -publish
+		{"-cache", "x.dir", "-ingest", "n.l", "-windows", "0"},
+		{"-cache", "x.dir", "-ingest", "n.l", "-canary-pct", "101"},
+		{"-cache", "x.dir", "-ingest", "n.l", "-drift-label", "-0.1"},
+	} {
+		if _, err := ParseDPSGD(tc, io.Discard); err == nil {
+			t.Errorf("args %v accepted", tc)
+		}
+	}
+}
+
+// -ingest appends a segment to the -cache directory; a violating batch
+// fails closed and leaves the directory unchanged.
+func TestRunDPSGDIngestSegment(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := sparseLIBSVMFile(t, dir, 200)
+	cachePath := filepath.Join(dir, "train.segdir")
+
+	if _, err := runQuick(t, func(c *DPSGDConfig) {
+		c.DataPath = dataPath
+		c.CachePath = cachePath
+		c.Eps = 4
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(cachePath); err != nil || !fi.IsDir() {
+		t.Fatalf("-cache is not a segment directory: fi=%v err=%v", fi, err)
+	}
+
+	newPath := libsvmFileWithRate(t, dir, "new.libsvm", 100, 5)
+	out, err := runQuick(t, func(c *DPSGDConfig) {
+		c.CachePath = cachePath
+		c.Ingest = newPath
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ingest: segment") || !strings.Contains(out, "m=300") || !strings.Contains(out, "2 segments") {
+		t.Errorf("ingest output: %q", out)
+	}
+
+	// A dense batch violates the density invariant (1.0 vs ~0.04, far
+	// past the 16x gate): fail closed.
+	var b strings.Builder
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			b.WriteString("1")
+		} else {
+			b.WriteString("-1")
+		}
+		for j := 1; j <= 50; j++ {
+			fmt.Fprintf(&b, " %d:0.1", j)
+		}
+		b.WriteString("\n")
+	}
+	badPath := filepath.Join(dir, "bad.libsvm")
+	if err := writeFile(badPath, b.String()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = runQuick(t, func(c *DPSGDConfig) {
+		c.CachePath = cachePath
+		c.Ingest = badPath
+	})
+	if err == nil || !strings.Contains(err.Error(), "density") {
+		t.Fatalf("violating ingest err = %v", err)
+	}
+	out, err = runQuick(t, func(c *DPSGDConfig) { // directory unchanged
+		c.CachePath = cachePath
+		c.Ingest = libsvmFileWithRate(t, dir, "new2.libsvm", 100, 5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "m=400") || !strings.Contains(out, "3 segments") {
+		t.Errorf("post-rejection ingest output: %q", out)
+	}
+}
+
+// The full CLI online loop: train-and-publish, ingest a drifting batch
+// with -online, and a canary version appears in the registry.
+func TestRunDPSGDOnlineDriftCanary(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := sparseLIBSVMFile(t, dir, 200)
+	cachePath := filepath.Join(dir, "train.segdir")
+	regPath := filepath.Join(dir, "registry")
+
+	if _, err := runQuick(t, func(c *DPSGDConfig) {
+		c.DataPath = dataPath
+		c.CachePath = cachePath
+		c.Publish = regPath
+		c.Eps = 4
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	online := func(c *DPSGDConfig) {
+		c.CachePath = cachePath
+		c.Online = true
+		c.Publish = regPath
+		c.Windows = 2
+		c.Eps = 2
+		c.Seed = 7
+	}
+
+	// Same distribution: ingested, no drift, no canary.
+	out, err := runQuick(t, func(c *DPSGDConfig) {
+		online(c)
+		c.Ingest = libsvmFileWithRate(t, dir, "same.libsvm", 100, 5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fired=false") || strings.Contains(out, "canary:") {
+		t.Errorf("no-drift ingest output: %q", out)
+	}
+
+	// Label-prior shift (50% → 10% positives): drift fires, one window
+	// is spent, the retrained model is staged as a canary.
+	out, err = runQuick(t, func(c *DPSGDConfig) {
+		online(c)
+		c.Ingest = libsvmFileWithRate(t, dir, "drift.libsvm", 100, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fired=true") || !strings.Contains(out, `canary: "train-w1"`) {
+		t.Errorf("drift ingest output: %q", out)
+	}
+
+	// The canary rollout itself is per-process routing state (dpserve
+	// owns it); what persists in the registry directory is the canary
+	// model version and the unchanged live designation.
+	reg, err := serve.NewRegistry(regPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canary, ok := reg.Get("train-w1")
+	if !ok {
+		t.Fatalf("canary version not published; registry has %v", reg.Names())
+	}
+	if reg.Live().Name != "train" {
+		t.Errorf("live = %q, promotion must stay an explicit step", reg.Live().Name)
+	}
+	// The canary's metadata audits the window spend and drift snapshot.
+	if canary.Meta["online.window"] != "1" {
+		t.Errorf("canary meta: %v", canary.Meta)
+	}
+	if canary.Meta["ledger.rule"] == "" && canary.Meta["account.rule"] == "" {
+		// StampMeta key naming is the account package's business; just
+		// require that some ledger stamp rode along.
+		found := false
+		for k := range canary.Meta {
+			if strings.Contains(k, "ledger") || strings.Contains(k, "account") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no ledger stamp in canary meta: %v", canary.Meta)
+		}
+	}
+}

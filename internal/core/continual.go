@@ -1,0 +1,209 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"boltondp/internal/account"
+	"boltondp/internal/dp"
+	"boltondp/internal/loss"
+	"boltondp/internal/sgd"
+)
+
+// windowPrefix is the ledger-label prefix every continual window spend
+// carries; NewContinualTrainer scans for it to resume a half-finished
+// window sequence from a restored accountant.
+const windowPrefix = "window["
+
+// ContinualTrainer runs warm-start continual training under a fixed
+// total privacy budget: the accountant's remainder is divided into N
+// equal windows up front (the Accountant.Split discipline, applied
+// lazily so unspent windows stay in the accountant), and every Retrain
+// spends exactly one window, warm-starting from the previous window's
+// released model. The ledger records each window as
+// "window[i/N]" — the total spend across all windows can never exceed
+// the accountant's total, the (N+1)-th retrain fails closed with
+// account.ErrOverdraw before reading a single row, and the final
+// model's metadata (Accountant().StampMeta) audits every window.
+//
+// Warm-starting is privacy-free: each window's noise is calibrated to
+// the full sensitivity of its own run, and the start point is a
+// previously RELEASED private model, which is data-independent by
+// post-processing. The trade is statistical, not privacy: a warm start
+// from a good model converges in fewer effective passes, while a
+// scratch run with the same seed produces a different (not worse, not
+// comparable bit-for-bit) iterate — see the divergence contract pinned
+// in the tests.
+//
+// A ContinualTrainer is safe for concurrent use; Retrain serializes.
+type ContinualTrainer struct {
+	mu      sync.Mutex
+	acct    *account.Accountant
+	f       loss.Function
+	base    []Option
+	windows int
+	window  dp.Budget
+	next    int // windows already spent
+	w       []float64
+}
+
+// NewContinualTrainer builds a continual trainer drawing windows equal
+// shares of acct's CURRENT remainder — typically the whole total, or
+// what is left after an initial full training spend. base options are
+// applied to every window's run (budget, accountant, spend label and
+// warm start are managed by the trainer and always win).
+//
+// When acct already carries "window[i/N]" entries — an accountant
+// restored with account.Restore from a published model's ledger — the
+// trainer resumes: the per-window budget is read from the first such
+// entry and the spent-window count from how many there are, so a
+// process restart continues the sequence instead of re-splitting the
+// (smaller) remainder.
+func NewContinualTrainer(acct *account.Accountant, windows int, f loss.Function, base ...Option) (*ContinualTrainer, error) {
+	if acct == nil {
+		return nil, fmt.Errorf("core: ContinualTrainer needs an accountant")
+	}
+	if windows < 1 {
+		return nil, fmt.Errorf("core: ContinualTrainer over %d windows", windows)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("core: ContinualTrainer needs a loss")
+	}
+	t := &ContinualTrainer{acct: acct, f: f, base: base, windows: windows}
+
+	spent := 0
+	for _, e := range acct.Ledger().Entries {
+		if strings.HasPrefix(e.Label, windowPrefix) {
+			if spent == 0 {
+				t.window = e.Budget()
+			}
+			spent++
+		}
+	}
+	if spent > 0 {
+		if spent > windows {
+			return nil, fmt.Errorf("core: ledger records %d window spends, trainer configured for %d", spent, windows)
+		}
+		t.next = spent
+		return t, nil
+	}
+
+	rem := acct.Remaining()
+	if rem.Epsilon <= 0 {
+		return nil, fmt.Errorf("%w: splitting the remainder of an exhausted accountant (total %v)",
+			account.ErrOverdraw, acct.Total())
+	}
+	t.window = rem.Split(windows)
+	return t, nil
+}
+
+// ContinualWindowsSpent counts the "window[i/N]" entries in a ledger —
+// how many continual windows the recorded history has already spent.
+// Zero for a ledger that never ran continual training (e.g. the
+// initial full-training spend only).
+func ContinualWindowsSpent(l *account.Ledger) int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range l.Entries {
+		if strings.HasPrefix(e.Label, windowPrefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// NewContinualRDP is the default-configuration constructor the issue's
+// online tier uses: a fresh rdp-rule accountant over total, split into
+// windows. The rdp rule prices the window sequence tighter than simple
+// composition, so the same total buys more usable noise per window.
+func NewContinualRDP(total dp.Budget, windows int, f loss.Function, base ...Option) (*ContinualTrainer, error) {
+	acct, err := account.NewWithRule("rdp", total)
+	if err != nil {
+		return nil, err
+	}
+	return NewContinualTrainer(acct, windows, f, base...)
+}
+
+// Retrain spends the next window: one TrainCtx run over s at the
+// per-window budget, warm-started from the trainer's current weights
+// (the previous window's released model, or the seed set with
+// SetWarmStart; nil means the origin). extra options are applied after
+// the base ones; budget, accountant, spend label and warm start always
+// win so a window can never over- or under-spend.
+//
+// When every window is already spent, Retrain fails closed with an
+// error wrapping account.ErrOverdraw before touching a single row of s.
+func (t *ContinualTrainer) Retrain(ctx context.Context, s sgd.Samples, extra ...Option) (*Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next >= t.windows {
+		return nil, fmt.Errorf("%w: all %d continual windows spent (total %v)",
+			account.ErrOverdraw, t.windows, t.acct.Total())
+	}
+	label := fmt.Sprintf("%s%d/%d]", windowPrefix, t.next+1, t.windows)
+	opts := make([]Option, 0, len(t.base)+len(extra)+4)
+	opts = append(opts, t.base...)
+	opts = append(opts, extra...)
+	opts = append(opts,
+		WithBudget(t.window),
+		WithAccountant(t.acct),
+		WithSpendLabel(label),
+		WithWarmStart(t.w),
+	)
+	res, err := TrainCtx(ctx, s, t.f, opts...)
+	if err != nil {
+		return nil, err
+	}
+	t.w = append([]float64(nil), res.W...)
+	t.next++
+	return res, nil
+}
+
+// Window returns how many windows have been spent.
+func (t *ContinualTrainer) Window() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Windows returns the configured window count N.
+func (t *ContinualTrainer) Windows() int { return t.windows }
+
+// WindowBudget returns the per-window budget.
+func (t *ContinualTrainer) WindowBudget() dp.Budget { return t.window }
+
+// Weights returns a copy of the current warm-start point (the last
+// released window model), or nil before the first window.
+func (t *ContinualTrainer) Weights() []float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.w == nil {
+		return nil
+	}
+	return append([]float64(nil), t.w...)
+}
+
+// SetWarmStart seeds the next window's start point — used when resuming
+// a trainer from a published model (the weights come from the registry,
+// the spend history from account.Restore). Pass only released private
+// models: the warm start must be data-independent.
+func (t *ContinualTrainer) SetWarmStart(w []float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(w) == 0 {
+		t.w = nil
+		return
+	}
+	t.w = append([]float64(nil), w...)
+}
+
+// Accountant returns the trainer's accountant (for StampMeta and
+// auditing).
+func (t *ContinualTrainer) Accountant() *account.Accountant { return t.acct }
+
+// Ledger snapshots the trainer's spend history.
+func (t *ContinualTrainer) Ledger() *account.Ledger { return t.acct.Ledger() }

@@ -61,6 +61,40 @@ func (k StepKind) String() string {
 	}
 }
 
+// Convexity selects which of the paper's two algorithms a TrainCtx run
+// uses. The zero value (ConvexityAuto) derives it from the loss — the
+// right choice everywhere outside reproduction studies that need
+// Algorithm 1's noise on a strongly convex objective.
+type Convexity int
+
+const (
+	// ConvexityAuto derives the algorithm from the loss: Algorithm 2
+	// when f.Params().StronglyConvex(), Algorithm 1 otherwise.
+	ConvexityAuto Convexity = iota
+	// ConvexityConvex forces Algorithm 1 (the convex trainer). Legal
+	// for any convex loss, including strongly convex ones — Algorithm 2
+	// would give strictly less noise there, which is exactly why a
+	// reproduction might force the comparison.
+	ConvexityConvex
+	// ConvexityStronglyConvex forces Algorithm 2; the run fails if the
+	// loss is not strongly convex (γ = 0).
+	ConvexityStronglyConvex
+)
+
+// String implements fmt.Stringer.
+func (c Convexity) String() string {
+	switch c {
+	case ConvexityAuto:
+		return "auto"
+	case ConvexityConvex:
+		return "convex"
+	case ConvexityStronglyConvex:
+		return "strongly-convex"
+	default:
+		return fmt.Sprintf("Convexity(%d)", int(c))
+	}
+}
+
 // Options configures a private PSGD run. The zero value plus a Budget
 // and a Rand is usable: one pass, batch 1, paper-default step sizes.
 type Options struct {
@@ -177,6 +211,19 @@ type Options struct {
 	// reservation. Empty means "train(<loss name>)".
 	SpendLabel string
 
+	// Convexity selects the algorithm for Train/TrainCtx dispatch. The
+	// zero value derives it from the loss (Algorithm 2 iff strongly
+	// convex). Ignored when GradPerturb is set.
+	Convexity Convexity
+
+	// W0 is the warm-start point: the iterate the engine starts from
+	// instead of the origin. It must have the data's dimension. The
+	// paper's sensitivity bounds hold for any data-independent common
+	// start, and a previously *released* private model is safe by
+	// post-processing — which is exactly how ContinualTrainer uses it.
+	// Never warm-start from an unreleased (non-private) iterate.
+	W0 []float64
+
 	// Progress, when non-nil, is called after every epoch (pass, or
 	// sharded merge epoch) with the 1-based epoch number and the
 	// empirical risk of the current (pre-noise) iterate. Setting it
@@ -226,6 +273,9 @@ func (o *Options) validate() error {
 	}
 	if o.Workers > 1 && o.Strategy != engine.Sharded {
 		return fmt.Errorf("core: Workers=%d requires the Sharded strategy, got %v", o.Workers, o.Strategy)
+	}
+	if o.Convexity < ConvexityAuto || o.Convexity > ConvexityStronglyConvex {
+		return fmt.Errorf("core: unknown Convexity %v", o.Convexity)
 	}
 	if _, err := o.accountingRule(); err != nil {
 		return err
@@ -331,7 +381,15 @@ type Result struct {
 	Passes  int
 }
 
-// PrivateConvexPSGD is Algorithm 1 (plus extensions): k-pass PSGD with
+// PrivateConvexPSGD runs Algorithm 1 directly.
+//
+// Deprecated: call TrainCtx with WithConvexity(ConvexityConvex); this
+// wrapper remains for compatibility and is bit-identical to that form.
+func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	return privateConvexPSGD(s, f, opt)
+}
+
+// privateConvexPSGD is Algorithm 1 (plus extensions): k-pass PSGD with
 // the selected convex step family, output-perturbed with sensitivity
 //
 //	Δ₂ = 2kLη/b                               (constant, Corollary 1)
@@ -343,7 +401,7 @@ type Result struct {
 // the worker count (the averaged-model sensitivity); under Streaming,
 // k is pinned to 1. The loss must be convex (γ may be 0; a strongly
 // convex loss is allowed but Algorithm 2 gives strictly less noise).
-func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+func privateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 	if err := opt.fillBudget(); err != nil {
 		return nil, err
 	}
@@ -407,6 +465,7 @@ func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, er
 			Rand:          o.Rand,
 			Ctx:           o.Ctx,
 			Progress:      o.Progress,
+			W0:            o.W0,
 		},
 	})
 	if err != nil {
@@ -415,7 +474,16 @@ func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, er
 	return perturb(&res.Result, o, sens)
 }
 
-// PrivateStronglyConvexPSGD is Algorithm 2 (plus extensions): k-pass
+// PrivateStronglyConvexPSGD runs Algorithm 2 directly.
+//
+// Deprecated: call TrainCtx with WithConvexity(ConvexityStronglyConvex);
+// this wrapper remains for compatibility and is bit-identical to that
+// form.
+func PrivateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	return privateStronglyConvexPSGD(s, f, opt)
+}
+
+// privateStronglyConvexPSGD is Algorithm 2 (plus extensions): k-pass
 // PSGD at η_t = min(1/β, 1/(γt)), output-perturbed with
 // Δ₂ = 2L/(γm) (Lemma 8, sound batch-aware form) — independent of k,
 // so Options.Tol early
@@ -425,7 +493,7 @@ func PrivateConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, er
 // shards is exactly the sequential 2L/(γm): parallelism is privacy-free
 // (the paper's multicore punchline). The loss must be γ-strongly
 // convex.
-func PrivateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+func privateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 	if err := opt.fillBudget(); err != nil {
 		return nil, err
 	}
@@ -438,7 +506,7 @@ func PrivateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Re
 	}
 	p := f.Params()
 	if !p.StronglyConvex() {
-		return nil, fmt.Errorf("core: loss %q is not strongly convex (γ=0); use PrivateConvexPSGD", f.Name())
+		return nil, fmt.Errorf("core: loss %q is not strongly convex (γ=0); use the convex algorithm (WithConvexity(ConvexityConvex))", f.Name())
 	}
 	n, err := opt.shardSize(m)
 	if err != nil {
@@ -473,6 +541,7 @@ func PrivateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Re
 			Tol:           o.Tol,
 			Ctx:           o.Ctx,
 			Progress:      o.Progress,
+			W0:            o.W0,
 		},
 	})
 	if err != nil {
@@ -487,17 +556,33 @@ func PrivateStronglyConvexPSGD(s sgd.Samples, f loss.Function, opt Options) (*Re
 	return perturb(&res.Result, o, sens)
 }
 
-// Train dispatches to the tighter applicable algorithm: gradient
-// perturbation when Options.GradPerturb is set, else Algorithm 2 when
-// the loss is strongly convex, Algorithm 1 otherwise.
+// Train runs one private training job with a struct-literal Options.
+//
+// Deprecated: call TrainCtx, the one documented entry point; this
+// wrapper remains for compatibility and is bit-identical to
+// TrainCtx(opt.Ctx, s, f, ...) with the equivalent options.
 func Train(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
+	return train(s, f, opt)
+}
+
+// train dispatches to the applicable algorithm: gradient perturbation
+// when Options.GradPerturb is set, else by Options.Convexity —
+// Algorithm 2 when forced or (under ConvexityAuto) when the loss is
+// strongly convex, Algorithm 1 otherwise.
+func train(s sgd.Samples, f loss.Function, opt Options) (*Result, error) {
 	if opt.GradPerturb != nil {
 		return PrivateGradPerturbPSGD(s, f, opt)
 	}
-	if f.Params().StronglyConvex() {
-		return PrivateStronglyConvexPSGD(s, f, opt)
+	switch opt.Convexity {
+	case ConvexityConvex:
+		return privateConvexPSGD(s, f, opt)
+	case ConvexityStronglyConvex:
+		return privateStronglyConvexPSGD(s, f, opt)
 	}
-	return PrivateConvexPSGD(s, f, opt)
+	if f.Params().StronglyConvex() {
+		return privateStronglyConvexPSGD(s, f, opt)
+	}
+	return privateConvexPSGD(s, f, opt)
 }
 
 // perturb applies the output perturbation step (lines 3–5 of

@@ -155,6 +155,7 @@ func PrivateGradPerturbPSGD(s sgd.Samples, f loss.Function, opt Options) (*Resul
 			AverageTail: o.AverageTail,
 			Rand:        o.Rand,
 			Ctx:         o.Ctx,
+			W0:          o.W0,
 			GradPerturb: &sgd.GradPerturb{
 				Clip:    spec.Clip,
 				Sigma:   2 * spec.Clip * sigma,

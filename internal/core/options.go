@@ -122,11 +122,37 @@ func WithGradPerturb(clip, noiseMultiplier float64) Option {
 	}
 }
 
-// TrainCtx is the context-aware, functional-options form of Train: it
-// runs the bolt-on private PSGD appropriate for the loss, cancellable
-// through ctx (checked once per mini-batch update by every execution
-// strategy; the run returns ctx.Err() within one epoch slice of
-// cancellation or deadline expiry).
+// WithConvexity pins Train/TrainCtx dispatch to one of the paper's two
+// algorithms. The default (ConvexityAuto) derives the algorithm from
+// the loss: Algorithm 2 when it is strongly convex, Algorithm 1
+// otherwise. Forcing ConvexityConvex on a strongly convex loss is legal
+// (at strictly more noise); forcing ConvexityStronglyConvex on a merely
+// convex loss fails. Ignored by gradient perturbation.
+func WithConvexity(c Convexity) Option {
+	return func(o *Options) { o.Convexity = c }
+}
+
+// WithWarmStart starts the SGD iterate at w0 (copied) instead of the
+// origin. The sensitivity bounds hold for any data-independent common
+// start, and a previously released private model is data-independent by
+// post-processing — pass only such vectors, never an unreleased
+// iterate. A nil or empty w0 means the origin.
+func WithWarmStart(w0 []float64) Option {
+	return func(o *Options) {
+		if len(w0) == 0 {
+			o.W0 = nil
+			return
+		}
+		o.W0 = append([]float64(nil), w0...)
+	}
+}
+
+// TrainCtx is the training entry point: it runs the bolt-on private
+// PSGD appropriate for the loss (or the one forced with WithConvexity,
+// or gradient perturbation with WithGradPerturb), cancellable through
+// ctx (checked once per mini-batch update by every execution strategy;
+// the run returns ctx.Err() within one epoch slice of cancellation or
+// deadline expiry).
 //
 //	acct, _ := account.New(dp.Budget{Epsilon: 1})
 //	res, err := core.TrainCtx(ctx, train, f,
@@ -134,21 +160,26 @@ func WithGradPerturb(clip, noiseMultiplier float64) Option {
 //		core.WithPasses(10), core.WithBatch(50), core.WithRadius(1/lambda),
 //		core.WithRand(r))
 //
-// Train(s, f, Options{...}) remains as the struct-literal form; the two
-// are interchangeable (TrainCtx builds an Options and sets Ctx).
+// This is the one documented way in; Train, PrivateConvexPSGD and
+// PrivateStronglyConvexPSGD are deprecated wrappers that remain
+// bit-identical to the equivalent TrainCtx call.
 func TrainCtx(ctx context.Context, s sgd.Samples, f loss.Function, opts ...Option) (*Result, error) {
-	return Train(s, f, buildOptions(ctx, opts))
+	return train(s, f, buildOptions(ctx, opts))
 }
 
 // PrivateConvexPSGDCtx is the context-aware form of PrivateConvexPSGD.
+//
+// Deprecated: call TrainCtx with WithConvexity(ConvexityConvex).
 func PrivateConvexPSGDCtx(ctx context.Context, s sgd.Samples, f loss.Function, opts ...Option) (*Result, error) {
-	return PrivateConvexPSGD(s, f, buildOptions(ctx, opts))
+	return privateConvexPSGD(s, f, buildOptions(ctx, opts))
 }
 
 // PrivateStronglyConvexPSGDCtx is the context-aware form of
 // PrivateStronglyConvexPSGD.
+//
+// Deprecated: call TrainCtx with WithConvexity(ConvexityStronglyConvex).
 func PrivateStronglyConvexPSGDCtx(ctx context.Context, s sgd.Samples, f loss.Function, opts ...Option) (*Result, error) {
-	return PrivateStronglyConvexPSGD(s, f, buildOptions(ctx, opts))
+	return privateStronglyConvexPSGD(s, f, buildOptions(ctx, opts))
 }
 
 func buildOptions(ctx context.Context, opts []Option) Options {

@@ -97,6 +97,7 @@ var Registry = map[string]Runner{
 	"outofcore": OutOfCore,
 	"kernelpar": KernelParallel,
 	"storev2":   StoreV2,
+	"online":    OnlineContinual,
 }
 
 // IDs returns the registered experiment IDs in sorted order.

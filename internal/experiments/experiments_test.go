@@ -23,7 +23,7 @@ func TestRegistryCoversDesignDoc(t *testing.T) {
 		"ablation-steps", "ablation-averaging", "ablation-noise",
 		"ablation-freshperm",
 		"scaling", "stream", "sparse", "serve", "outofcore", "dist",
-		"kernelpar", "storev2", "accounting",
+		"kernelpar", "storev2", "accounting", "online",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {

@@ -36,6 +36,8 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -132,13 +134,50 @@ const liveFile = ".live"
 // cannot accumulate across restarts.
 const tmpSweepAge = time.Hour
 
+// mtimeQuantum bounds the timestamp granularity of the filesystems a
+// registry directory is expected to live on (FAT rounds to 2 s, many
+// network filesystems to 1 s). A republish can reuse its predecessor's
+// (mtime, size) stamp only when both writes land inside one quantum.
+const mtimeQuantum = 2 * time.Second
+
 // fileStamp identifies one on-disk model file state for the watch
-// diff: a (mtime, size) pair. Persistence is temp+rename, so a file
-// never mutates in place — any republish lands as a new inode with a
-// fresh mtime.
+// diff: the cheap (mtime, size) pair, plus a content CRC tiebreaker.
+// Persistence is temp+rename, so a file never mutates in place — any
+// republish lands as a new inode, normally with a fresh mtime. The
+// exception is a same-size republish within the same timestamp quantum
+// as the stamped write, which (mtime, size) alone cannot see; crc and
+// seenAt exist to close that hole without paying a content read on
+// every poll (see fileStamp.suspect).
 type fileStamp struct {
-	mtime time.Time
-	size  int64
+	mtime  time.Time
+	size   int64
+	crc    uint32    // IEEE CRC32 of the file contents; 0 = unknown
+	seenAt time.Time // when the contents were last known to match crc
+}
+
+// suspect reports whether a matching (mtime, size) is NOT enough to
+// rule out a rewrite: the stamp was recorded within one timestamp
+// quantum of the file's own mtime, so a same-size rewrite in that same
+// quantum would be invisible to the cheap diff. Refresh tiebreaks
+// suspect files on content CRC; a clean check after the quantum has
+// passed (seenAt moves forward) retires the suspicion, so steady-state
+// polling stays stat-only.
+func (st fileStamp) suspect() bool {
+	return st.crc != 0 && st.seenAt.Sub(st.mtime) < mtimeQuantum
+}
+
+// fileCRC returns the IEEE CRC32 of the file's contents.
+func fileCRC(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, f); err != nil {
+		return 0, err
+	}
+	return h.Sum32(), nil
 }
 
 // Registry holds named model versions and designates one of them live.
@@ -223,7 +262,11 @@ func NewRegistry(dir string) (*Registry, error) {
 		// the process restart as every model's publish time.
 		if fi, err := e.Info(); err == nil {
 			m.Published = fi.ModTime()
-			r.seen[name] = fileStamp{mtime: fi.ModTime(), size: fi.Size()}
+			st := fileStamp{mtime: fi.ModTime(), size: fi.Size(), seenAt: time.Now()}
+			if crc, err := fileCRC(filepath.Join(dir, e.Name())); err == nil {
+				st.crc = crc
+			}
+			r.seen[name] = st
 		}
 		r.models[name] = m
 	}
@@ -375,7 +418,11 @@ func (r *Registry) persist(m *Model) error {
 		return fmt.Errorf("serve: %w", err)
 	}
 	if fi, err := os.Stat(final); err == nil {
-		r.seen[m.Name] = fileStamp{mtime: fi.ModTime(), size: fi.Size()}
+		st := fileStamp{mtime: fi.ModTime(), size: fi.Size(), seenAt: time.Now()}
+		if crc, err := fileCRC(final); err == nil {
+			st.crc = crc
+		}
+		r.seen[m.Name] = st
 	}
 	return nil
 }

@@ -108,9 +108,17 @@ func (r *Registry) Refresh() error {
 
 	r.mu.RLock()
 	changed := make([]string, 0, 4)
+	verify := make([]string, 0, 2)
 	for name, st := range present {
-		if have, ok := r.seen[name]; !ok || have != st {
+		have, ok := r.seen[name]
+		switch {
+		case !ok || have.mtime != st.mtime || have.size != st.size:
 			changed = append(changed, name)
+		case have.suspect():
+			// Same cheap stamp, but recorded inside the rewrite-race
+			// window — a same-second same-size republish would be
+			// invisible to (mtime, size). Tiebreak on content CRC below.
+			verify = append(verify, name)
 		}
 	}
 	removed := make([]string, 0, 4)
@@ -121,10 +129,29 @@ func (r *Registry) Refresh() error {
 	}
 	r.mu.RUnlock()
 
+	scanAt := time.Now()
+	verified := make(map[string]uint32, len(verify))
+	for _, name := range verify {
+		crc, err := fileCRC(filepath.Join(r.dir, name+".json"))
+		if err != nil {
+			continue // raced with a rename; the mtime diff catches it next tick
+		}
+		r.mu.RLock()
+		same := r.seen[name].crc == crc
+		r.mu.RUnlock()
+		if same {
+			verified[name] = crc
+		} else {
+			changed = append(changed, name)
+		}
+	}
+
 	var errs []error
 	loaded := make(map[string]*Model, len(changed))
+	stamps := make(map[string]fileStamp, len(changed))
 	for _, name := range changed {
-		c, meta, err := eval.LoadClassifier(filepath.Join(r.dir, name+".json"))
+		path := filepath.Join(r.dir, name+".json")
+		c, meta, err := eval.LoadClassifier(path)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("serve: loading %q: %w", name+".json", err))
 			continue
@@ -136,14 +163,29 @@ func (r *Registry) Refresh() error {
 		}
 		m.Published = present[name].mtime
 		loaded[name] = m
+		st := present[name]
+		st.seenAt = time.Now()
+		if crc, err := fileCRC(path); err == nil {
+			st.crc = crc
+		}
+		stamps[name] = st
 	}
 
 	liveName, haveLive := r.readLiveFile()
 
 	r.mu.Lock()
+	// A clean CRC check moves seenAt forward; once the file's mtime
+	// quantum has passed, suspect() goes false and polling is stat-only
+	// again.
+	for name, crc := range verified {
+		if st, ok := r.seen[name]; ok && st.crc == crc {
+			st.seenAt = scanAt
+			r.seen[name] = st
+		}
+	}
 	for name, m := range loaded {
 		r.models[name] = m
-		r.seen[name] = present[name]
+		r.seen[name] = stamps[name]
 		// The live designation names a version, not a pointer: a
 		// republish of the live name from another replica swaps here
 		// exactly as a local Publish would.

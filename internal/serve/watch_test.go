@@ -225,3 +225,76 @@ func TestWatchDesignationWithoutModel(t *testing.T) {
 		t.Error("designation not applied once its model arrived")
 	}
 }
+
+// TestWatchSameSecondSameSizeRewrite pins the content-CRC tiebreaker:
+// a republish whose file has the same size AND the same mtime as its
+// predecessor (coarse-mtime filesystem, simulated with Chtimes) is
+// invisible to the (mtime, size) diff but must still be observed by
+// the follower.
+func TestWatchSameSecondSameSizeRewrite(t *testing.T) {
+	dir := t.TempDir()
+	pub, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := pub.Publish("m", linear(4, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "m.json")
+	fi0, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Republish with different weights but the identical byte length,
+	// then pin mtime back to the original — the exact blind spot of the
+	// (mtime, size) stamp.
+	if _, err := pub.Publish("m", linear(4, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	fi1, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi0.Size() != fi1.Size() {
+		t.Fatalf("test setup: sizes differ (%d vs %d), rewrite not size-preserving", fi0.Size(), fi1.Size())
+	}
+	if err := os.Chtimes(path, fi0.ModTime(), fi0.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	got := sub.Live().Classifier.(*eval.Linear).W[0]
+	if got != 2 {
+		t.Fatalf("same-second same-size rewrite missed: follower w[0]=%v, want 2", got)
+	}
+}
+
+// TestFileStampSuspect pins when the CRC tiebreak is consulted at all:
+// only stamps recorded inside the mtime quantum of the write stay
+// suspect; verified or old stamps poll stat-only.
+func TestFileStampSuspect(t *testing.T) {
+	now := time.Now()
+	fresh := fileStamp{mtime: now, seenAt: now, crc: 7}
+	if !fresh.suspect() {
+		t.Error("stamp recorded at its own mtime is not suspect")
+	}
+	retired := fileStamp{mtime: now.Add(-time.Minute), seenAt: now, crc: 7}
+	if retired.suspect() {
+		t.Error("stamp verified after the quantum is still suspect")
+	}
+	unknown := fileStamp{mtime: now, seenAt: now}
+	if unknown.suspect() {
+		t.Error("stamp without a CRC cannot be CRC-verified")
+	}
+}
